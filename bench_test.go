@@ -1,0 +1,335 @@
+// Package repro benchmarks every experiment of the paper's evaluation —
+// one benchmark per table and figure (quick configurations; use
+// cmd/esharing-bench for full-size runs) plus the ablation studies from
+// DESIGN.md §5 and micro-benchmarks of the core algorithms.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/experiments"
+	"repro/internal/forecast"
+	"repro/internal/geo"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// --- One benchmark per paper table/figure ------------------------------
+
+func BenchmarkFig4OfflineVsMeyerson(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig4(experiments.DefaultFig4Config()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5PenaltyCurves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig5(experiments.DefaultFig5Config()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6DeviationPenalty(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig6(experiments.DefaultFig6Config()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7SavingRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig7(experiments.DefaultFig7Config()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8ActualVsPredicted(b *testing.B) {
+	cfg := experiments.Fig8Config{Table2: experiments.QuickTable2Config()}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig8(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2PredictionRMSE(b *testing.B) {
+	cfg := experiments.QuickTable2Config()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable2(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9Table3Penalties covers both Fig. 9 and Table III (the
+// paper derives the figure from the same runs).
+func BenchmarkFig9Table3Penalties(b *testing.B) {
+	cfg := experiments.QuickTable3Config()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable3(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4KSSimilarity(b *testing.B) {
+	cfg := experiments.DefaultTable4Config()
+	cfg.SamplePerDay = 120
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable4(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10Table5Comparison covers Fig. 10 and Table V.
+func BenchmarkFig10Table5Comparison(b *testing.B) {
+	cfg := experiments.QuickTable5Config()
+	cfg.Regions = 2
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable5(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11Fig12Table6Incentives covers Figs. 11–12 and Table VI.
+func BenchmarkFig11Fig12Table6Incentives(b *testing.B) {
+	cfg := experiments.DefaultTable6Config()
+	cfg.Bikes = 200
+	cfg.QValues = []float64{2, 10}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable6(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ------------------------------------------
+
+func benchAblation(b *testing.B, runner func(experiments.AblationConfig) (*experiments.AblationResult, error)) {
+	b.Helper()
+	cfg := experiments.DefaultAblationConfig()
+	cfg.Trials = 2
+	for i := 0; i < b.N; i++ {
+		if _, err := runner(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBeta(b *testing.B) {
+	benchAblation(b, experiments.RunAblationBeta)
+}
+
+func BenchmarkAblationPenaltySwitch(b *testing.B) {
+	benchAblation(b, experiments.RunAblationPenaltySwitch)
+}
+
+func BenchmarkAblationGuidance(b *testing.B) {
+	benchAblation(b, experiments.RunAblationGuidance)
+}
+
+func BenchmarkAblationPolyPenalty(b *testing.B) {
+	benchAblation(b, experiments.RunAblationPolyPenalty)
+}
+
+func BenchmarkAblationLocalSearch(b *testing.B) {
+	benchAblation(b, experiments.RunAblationLocalSearch)
+}
+
+func BenchmarkAblationTSP(b *testing.B) {
+	benchAblation(b, experiments.RunAblationTSP)
+}
+
+func BenchmarkAblationKS(b *testing.B) {
+	benchAblation(b, experiments.RunAblationKS)
+}
+
+// --- Micro-benchmarks of the core algorithms ---------------------------
+
+func benchPoints(n int) []geo.Point {
+	return stats.SamplePoints(stats.NewRNG(7),
+		stats.UniformDist{Box: geo.Square(geo.Pt(0, 0), 2000)}, n)
+}
+
+func BenchmarkOfflineSolver100(b *testing.B) {
+	pts := benchPoints(100)
+	problem, err := core.UniformProblem(pts, 5000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveOffline(problem); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMeyersonStream1000(b *testing.B) {
+	pts := benchPoints(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		placer, err := core.NewMeyerson(5000, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := core.RunStream(placer, pts, 5000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkESharingStream1000(b *testing.B) {
+	pts := benchPoints(1000)
+	landmarks := benchPoints(12)
+	hist := benchPoints(200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultESharingConfig()
+		cfg.Seed = uint64(i) + 1
+		placer, err := core.NewESharing(landmarks, 5000, hist, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := core.RunStream(placer, pts, 5000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPeacockKSBrute60(b *testing.B) {
+	a := benchPoints(60)
+	c := stats.SamplePoints(stats.NewRNG(8),
+		stats.NormalDist{Center: geo.Pt(1000, 1000), StdDev: 300}, 60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.Peacock2D(a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPeacockKSFast60(b *testing.B) {
+	a := benchPoints(60)
+	c := stats.SamplePoints(stats.NewRNG(8),
+		stats.NormalDist{Center: geo.Pt(1000, 1000), StdDev: 300}, 60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.Peacock2DFast(a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTSPHeldKarp12(b *testing.B) {
+	pts := benchPoints(12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := routing.HeldKarp(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTSPTwoOpt60(b *testing.B) {
+	pts := benchPoints(60)
+	nn, err := routing.NearestNeighbor(pts, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		routing.TwoOpt(pts, nn)
+	}
+}
+
+func BenchmarkOfflineSolver300(b *testing.B) {
+	pts := benchPoints(300)
+	problem, err := core.UniformProblem(pts, 5000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveOffline(problem); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLocalSearchRefinement(b *testing.B) {
+	pts := benchPoints(120)
+	problem, err := core.UniformProblem(pts, 5000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sol, err := core.SolveOffline(problem)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.ImproveLocalSearch(problem, sol, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLSTMTrainingEpoch(b *testing.B) {
+	series := make([]float64, 24*10)
+	for i := range series {
+		series[i] = 100 + 50*float64(i%24)/24
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model, err := forecast.NewLSTM(forecast.LSTMConfig{
+			Hidden: 16, Layers: 2, Lookback: 12, Epochs: 1,
+			LearningRate: 0.01, ClipNorm: 1, Seed: uint64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := model.Fit(series); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChargingRound(b *testing.B) {
+	stations := make([]geo.Point, 0, 25)
+	for r := 0; r < 5; r++ {
+		for c := 0; c < 5; c++ {
+			stations = append(stations, geo.Pt(float64(c)*600, float64(r)*600))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fleet, err := energy.NewFleet(energy.DefaultModel())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := stats.NewRNG(uint64(i) + 1)
+		for id := 1; id <= 300; id++ {
+			st := stations[rng.IntN(len(stations))]
+			if err := fleet.Add(energy.Bike{ID: int64(id), Loc: st, Level: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := fleet.SeedLevels(stats.NewRNG(uint64(i)+2), 0.2); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.RunChargingRound(stations, fleet, sim.DefaultChargingConfig(0.4)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

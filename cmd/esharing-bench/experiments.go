@@ -1,0 +1,117 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/experiments"
+)
+
+// runOne dispatches a single experiment by name.
+func runOne(name string, quick, asJSON bool, out io.Writer) error {
+	switch name {
+	case "fig4":
+		res, err := experiments.RunFig4(experiments.DefaultFig4Config())
+		if err != nil {
+			return err
+		}
+		return emit(out, asJSON, res)
+	case "fig5":
+		res, err := experiments.RunFig5(experiments.DefaultFig5Config())
+		if err != nil {
+			return err
+		}
+		return emit(out, asJSON, res)
+	case "fig6":
+		res, err := experiments.RunFig6(experiments.DefaultFig6Config())
+		if err != nil {
+			return err
+		}
+		return emit(out, asJSON, res)
+	case "fig7":
+		res, err := experiments.RunFig7(experiments.DefaultFig7Config())
+		if err != nil {
+			return err
+		}
+		return emit(out, asJSON, res)
+	case "fig8":
+		cfg := experiments.DefaultFig8Config()
+		if quick {
+			cfg.Table2 = experiments.QuickTable2Config()
+		}
+		res, err := experiments.RunFig8(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(out, asJSON, res)
+	case "table2":
+		cfg := experiments.DefaultTable2Config()
+		if quick {
+			cfg = experiments.QuickTable2Config()
+		}
+		res, err := experiments.RunTable2(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(out, asJSON, res)
+	case "table3", "fig9":
+		cfg := experiments.DefaultTable3Config()
+		if quick {
+			cfg = experiments.QuickTable3Config()
+		}
+		res, err := experiments.RunTable3(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(out, asJSON, res)
+	case "table4":
+		res, err := experiments.RunTable4(experiments.DefaultTable4Config())
+		if err != nil {
+			return err
+		}
+		return emit(out, asJSON, res)
+	case "table5", "fig10":
+		cfg := experiments.DefaultTable5Config()
+		if quick {
+			cfg = experiments.QuickTable5Config()
+		}
+		res, err := experiments.RunTable5(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(out, asJSON, res)
+	case "table6", "fig11", "fig12":
+		res, err := experiments.RunTable6(experiments.DefaultTable6Config())
+		if err != nil {
+			return err
+		}
+		return emit(out, asJSON, res)
+	case "ablations":
+		cfg := experiments.DefaultAblationConfig()
+		if quick {
+			cfg.Trials = 2
+		}
+		runners := []func(experiments.AblationConfig) (*experiments.AblationResult, error){
+			experiments.RunAblationBeta,
+			experiments.RunAblationPenaltySwitch,
+			experiments.RunAblationGuidance,
+			experiments.RunAblationPolyPenalty,
+			experiments.RunAblationLocalSearch,
+			experiments.RunAblationTSP,
+			experiments.RunAblationKS,
+		}
+		for _, runner := range runners {
+			res, err := runner(cfg)
+			if err != nil {
+				return err
+			}
+			if err := emit(out, asJSON, res); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+}

@@ -1,0 +1,72 @@
+// Command esharing-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	esharing-bench [-quick] [-json] <experiment ...>
+//
+// Experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
+// table2 table3 table4 table5 table6 ablations all
+//
+// fig9 is an alias of table3 (same study), fig10 of table5, and
+// fig11/fig12 of table6 — the paper derives those figures from the same
+// runs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "esharing-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("esharing-bench", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "shrink grids and trial counts for a fast pass")
+	asJSON := fs.Bool("json", false, "emit structured JSON instead of rendered tables")
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	names := fs.Args()
+	if len(names) == 0 {
+		fs.Usage()
+		return fmt.Errorf("no experiment named; try: esharing-bench all")
+	}
+	if len(names) == 1 && names[0] == "all" {
+		names = []string{
+			"fig4", "fig5", "fig6", "fig7", "fig8",
+			"table2", "table3", "table4", "table5", "table6", "ablations",
+		}
+	}
+	for _, name := range names {
+		start := time.Now()
+		if err := runOne(name, *quick, *asJSON, out); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintf(out, "[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+type renderable interface {
+	Render(io.Writer)
+}
+
+func emit(out io.Writer, asJSON bool, r renderable) error {
+	if asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(r)
+	}
+	r.Render(out)
+	return nil
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunFig4(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"fig4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Fig. 4") || !strings.Contains(out, "meyerson") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-json", "fig5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"tolerance"`) {
+		t.Errorf("JSON output missing fields:\n%.200s", buf.String())
+	}
+}
+
+func TestRunAliases(t *testing.T) {
+	// fig9 aliases table3; use the quick flag to keep it fast.
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "fig9"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table III") {
+		t.Error("fig9 should render the Table III study")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{}, &buf); err == nil {
+		t.Error("no experiment should error")
+	}
+	if err := run([]string{"nonsense"}, &buf); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}

@@ -1,0 +1,201 @@
+// Command esharing-server runs the E-Sharing decision backend over HTTP.
+//
+// It plans offline landmarks from a synthetic (or CSV) trip history, then
+// serves live placement decisions:
+//
+//	POST /v1/requests  {"dest":{"x":..,"y":..}}  -> parking decision
+//	GET  /v1/stations                            -> established stations
+//	GET  /v1/stats                               -> counters + similarity
+//	GET  /healthz                                -> liveness
+//
+// Usage:
+//
+//	esharing-server [-addr :8080] [-algorithm e-sharing|meyerson|online-kmeans]
+//	                [-opening 10000] [-seed 1] [-trips-csv history.csv]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/energy"
+	"repro/internal/geo"
+	"repro/internal/server"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatalf("esharing-server: %v", err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("esharing-server", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	algorithm := fs.String("algorithm", "e-sharing", "placement algorithm: e-sharing, meyerson or online-kmeans")
+	opening := fs.Float64("opening", 10000, "space-occupation cost per station (metres)")
+	seed := fs.Uint64("seed", 1, "random seed")
+	tripsCSV := fs.String("trips-csv", "", "optional Mobike-schema CSV with historical trips; synthetic history is generated when empty")
+	historyDays := fs.Int("history-days", 7, "days of synthetic history when no CSV is given")
+	fleetSize := fs.Int("fleet", 0, "register this many bikes at the planned stations and enable the tier-2 endpoints")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	history, err := loadHistory(*tripsCSV, *historyDays, *seed)
+	if err != nil {
+		return fmt.Errorf("load history: %w", err)
+	}
+	log.Printf("loaded %d historical trips", len(history))
+
+	placer, err := buildPlacer(*algorithm, history, *opening, *seed)
+	if err != nil {
+		return err
+	}
+	log.Printf("algorithm %s ready with %d initial stations", placer.Name(), len(placer.Stations()))
+
+	var handler *server.Server
+	if *fleetSize > 0 {
+		fleet, err := buildFleet(placer, *fleetSize, *seed)
+		if err != nil {
+			return fmt.Errorf("build fleet: %w", err)
+		}
+		handler, err = server.NewWithFleet(placer, fleet)
+		if err != nil {
+			return err
+		}
+		log.Printf("fleet of %d bikes registered; tier-2 endpoints enabled", *fleetSize)
+	} else {
+		handler, err = server.New(placer)
+		if err != nil {
+			return err
+		}
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	case sig := <-stop:
+		log.Printf("received %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
+}
+
+func loadHistory(csvPath string, days int, seed uint64) ([]dataset.Trip, error) {
+	if csvPath != "" {
+		f, err := os.Open(csvPath)
+		if err != nil {
+			return nil, err
+		}
+		defer func() { _ = f.Close() }()
+		projector := geo.NewProjector(geo.LatLng{Lat: 39.9042, Lng: 116.4074})
+		return dataset.ReadCSV(f, projector)
+	}
+	return dataset.Generate(dataset.Config{Days: days, Seed: seed})
+}
+
+func buildPlacer(algorithm string, history []dataset.Trip, opening float64, seed uint64) (core.OnlinePlacer, error) {
+	dests := dataset.EndPoints(history)
+	switch algorithm {
+	case "e-sharing":
+		landmarks, err := planLandmarks(dests, opening)
+		if err != nil {
+			return nil, fmt.Errorf("offline plan: %w", err)
+		}
+		cfg := core.DefaultESharingConfig()
+		cfg.Seed = seed
+		return core.NewESharing(landmarks, opening, dests, cfg)
+	case "meyerson":
+		return core.NewMeyerson(opening, seed)
+	case "online-kmeans":
+		return core.NewOnlineKMeans(16, seed)
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", algorithm)
+	}
+}
+
+// buildFleet scatters bikes across the placer's stations with the
+// Fig. 2(d) low-battery tail.
+func buildFleet(placer core.OnlinePlacer, size int, seed uint64) (*energy.Fleet, error) {
+	stations := placer.Stations()
+	if len(stations) == 0 {
+		return nil, fmt.Errorf("no stations to park bikes at")
+	}
+	fleet, err := energy.NewFleet(energy.DefaultModel())
+	if err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(seed + 101)
+	for i := 1; i <= size; i++ {
+		st := stations[rng.IntN(len(stations))]
+		if err := fleet.Add(energy.Bike{ID: int64(i), Loc: st, Level: 1}); err != nil {
+			return nil, err
+		}
+	}
+	if err := fleet.SeedLevels(stats.NewRNG(seed+102), 0.2); err != nil {
+		return nil, err
+	}
+	return fleet, nil
+}
+
+func planLandmarks(dests []geo.Point, opening float64) ([]geo.Point, error) {
+	box := geo.Bound(dests)
+	grid, err := geo.NewGrid(box, 100)
+	if err != nil {
+		return nil, err
+	}
+	counts := grid.Histogram(dests)
+	var demands []core.Demand
+	for idx, n := range counts {
+		if n == 0 {
+			continue
+		}
+		cell, err := grid.CellAt(idx)
+		if err != nil {
+			return nil, err
+		}
+		demands = append(demands, core.Demand{Loc: grid.Centroid(cell), Arrivals: float64(n)})
+	}
+	openingCosts := make([]float64, len(demands))
+	for i := range openingCosts {
+		openingCosts[i] = opening
+	}
+	problem, err := core.NewProblem(demands, openingCosts)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := core.SolveOffline(problem)
+	if err != nil {
+		return nil, err
+	}
+	return problem.Stations(sol), nil
+}

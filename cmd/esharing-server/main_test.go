@@ -1,0 +1,119 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func testHistory(t *testing.T) []dataset.Trip {
+	t.Helper()
+	trips, err := dataset.Generate(dataset.Config{
+		Days: 2, TripsWeekday: 150, TripsWeekend: 100, Bikes: 30, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trips
+}
+
+func TestBuildPlacer(t *testing.T) {
+	history := testHistory(t)
+	for _, alg := range []string{"e-sharing", "meyerson", "online-kmeans"} {
+		placer, err := buildPlacer(alg, history, 10000, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if placer.Name() == "" {
+			t.Errorf("%s: empty name", alg)
+		}
+	}
+	if _, err := buildPlacer("nope", history, 10000, 1); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+}
+
+func TestBuildPlacerESharingHasLandmarks(t *testing.T) {
+	history := testHistory(t)
+	placer, err := buildPlacer("e-sharing", history, 10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placer.Stations()) == 0 {
+		t.Error("e-sharing placer should start with offline landmarks")
+	}
+}
+
+func TestLoadHistorySynthetic(t *testing.T) {
+	trips, err := loadHistory("", 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trips) == 0 {
+		t.Error("no synthetic trips")
+	}
+}
+
+func TestLoadHistoryCSV(t *testing.T) {
+	trips := testHistory(t)[:40]
+	path := filepath.Join(t.TempDir(), "h.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteCSV(f, trips); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadHistory(path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(trips) {
+		t.Errorf("loaded %d trips, want %d", len(got), len(trips))
+	}
+	if _, err := loadHistory(filepath.Join(t.TempDir(), "missing.csv"), 0, 0); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestPlanLandmarks(t *testing.T) {
+	history := testHistory(t)
+	landmarks, err := planLandmarks(dataset.EndPoints(history), 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(landmarks) == 0 {
+		t.Error("no landmarks planned")
+	}
+}
+
+func TestBuildFleet(t *testing.T) {
+	history := testHistory(t)
+	placer, err := buildPlacer("e-sharing", history, 10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := buildFleet(placer, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Len() != 40 {
+		t.Errorf("fleet size %d, want 40", fleet.Len())
+	}
+	if len(fleet.LowBikes()) == 0 {
+		t.Error("fleet should have a low-battery tail")
+	}
+	// No stations -> error.
+	empty, err := buildPlacer("meyerson", history, 10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildFleet(empty, 5, 1); err == nil {
+		t.Error("fleet without stations should error")
+	}
+}

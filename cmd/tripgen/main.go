@@ -1,0 +1,105 @@
+// Command tripgen generates a synthetic Mobike-schema trip CSV, the
+// dataset substitution described in DESIGN.md. The output round-trips
+// through the same codec that reads the real dataset.
+//
+// Usage:
+//
+//	tripgen [-days 14] [-weekday 2000] [-weekend 1400] [-bikes 600]
+//	        [-seed 1] [-surge day:hour:trips] [-o trips.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/geo"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tripgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tripgen", flag.ContinueOnError)
+	days := fs.Int("days", 14, "days to generate")
+	weekday := fs.Int("weekday", 2000, "trips per weekday")
+	weekend := fs.Int("weekend", 1400, "trips per weekend day")
+	bikes := fs.Int("bikes", 600, "fleet size")
+	seed := fs.Uint64("seed", 1, "random seed")
+	surgeSpec := fs.String("surge", "", "optional demand surge day:hour:trips (e.g. 5:19:300)")
+	out := fs.String("o", "", "output file (stdout when empty)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := dataset.Config{
+		Days:         *days,
+		TripsWeekday: *weekday,
+		TripsWeekend: *weekend,
+		Bikes:        *bikes,
+		Seed:         *seed,
+	}
+	if *surgeSpec != "" {
+		surge, err := parseSurge(*surgeSpec)
+		if err != nil {
+			return err
+		}
+		cfg.Surges = []dataset.Surge{surge}
+	}
+	trips, err := dataset.Generate(cfg)
+	if err != nil {
+		return fmt.Errorf("generate: %w", err)
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		w = f
+	}
+	if err := dataset.WriteCSV(w, trips); err != nil {
+		return fmt.Errorf("write csv: %w", err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d trips to %s\n", len(trips), *out)
+	}
+	return nil
+}
+
+func parseSurge(spec string) (dataset.Surge, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return dataset.Surge{}, fmt.Errorf("surge spec %q is not day:hour:trips", spec)
+	}
+	day, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return dataset.Surge{}, fmt.Errorf("surge day: %w", err)
+	}
+	hour, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return dataset.Surge{}, fmt.Errorf("surge hour: %w", err)
+	}
+	trips, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return dataset.Surge{}, fmt.Errorf("surge trips: %w", err)
+	}
+	hourEnd := hour + 2
+	if hourEnd > 23 {
+		hourEnd = 23
+	}
+	return dataset.Surge{
+		Day: day, HourStart: hour, HourEnd: hourEnd,
+		Center: geo.Pt(2600, 2600), Sigma: 120, Trips: trips,
+	}, nil
+}

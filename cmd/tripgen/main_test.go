@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geo"
+)
+
+func TestRunGeneratesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-days", "2", "-weekday", "100", "-weekend", "80", "-bikes", "30", "-seed", "5"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	projector := geo.NewProjector(geo.LatLng{Lat: 39.9042, Lng: 116.4074})
+	trips, err := dataset.ReadCSV(&buf, projector)
+	if err != nil {
+		t.Fatalf("generated CSV unreadable: %v", err)
+	}
+	if len(trips) < 100 {
+		t.Errorf("only %d trips generated", len(trips))
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trips.csv")
+	var buf bytes.Buffer
+	if err := run([]string{"-days", "1", "-weekday", "50", "-bikes", "10", "-o", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Error("stdout should be empty when -o is set")
+	}
+}
+
+func TestRunWithSurge(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-days", "3", "-weekday", "50", "-bikes", "10", "-surge", "1:19:100"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "orderid") {
+		t.Error("missing header")
+	}
+}
+
+func TestParseSurge(t *testing.T) {
+	tests := []struct {
+		spec    string
+		wantErr bool
+	}{
+		{"5:19:300", false},
+		{"5:23:300", false}, // hour end clamps
+		{"bad", true},
+		{"a:1:2", true},
+		{"1:b:2", true},
+		{"1:2:c", true},
+	}
+	for _, tt := range tests {
+		_, err := parseSurge(tt.spec)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseSurge(%q) err=%v, wantErr=%v", tt.spec, err, tt.wantErr)
+		}
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-days", "-2"}, &buf); err == nil {
+		t.Error("negative days should error")
+	}
+	if err := run([]string{"-surge", "99:1:10", "-days", "2"}, &buf); err == nil {
+		t.Error("out-of-range surge day should error")
+	}
+}

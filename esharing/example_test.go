@@ -1,0 +1,65 @@
+package esharing_test
+
+import (
+	"fmt"
+
+	"repro/esharing"
+)
+
+// The examples below double as executable documentation: `go test`
+// verifies their output.
+
+func ExampleSystem_PlanOffline() {
+	sys, err := esharing.New(esharing.DefaultConfig())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// Two demand clusters, 2 km apart.
+	var history []esharing.Point
+	for i := 0; i < 40; i++ {
+		history = append(history,
+			esharing.Pt(200+float64(i%5)*20, 200+float64(i/5)*10),
+			esharing.Pt(2200+float64(i%5)*20, 200+float64(i/5)*10),
+		)
+	}
+	plan, err := sys.PlanOffline(history)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("stations: %d\n", len(plan.Stations))
+	// Output:
+	// stations: 2
+}
+
+func ExampleSystem_Request() {
+	sys, err := esharing.New(esharing.DefaultConfig())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	var history []esharing.Point
+	for i := 0; i < 60; i++ {
+		history = append(history, esharing.Pt(500+float64(i%8)*12, 500+float64(i/8)*12))
+	}
+	if _, err := sys.PlanOffline(history); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// A request close to the cluster is assigned, not opened.
+	d, err := sys.Request(esharing.Pt(520, 520))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("opened: %v, walk under 100 m: %v\n", d.Opened, d.WalkMeters < 100)
+	// Output:
+	// opened: false, walk under 100 m: true
+}
+
+func ExamplePoint_Dist() {
+	fmt.Println(esharing.Pt(0, 0).Dist(esharing.Pt(3, 4)))
+	// Output:
+	// 5
+}

@@ -1,0 +1,163 @@
+package esharing
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/forecast"
+	"repro/internal/geo"
+	"repro/internal/rebalance"
+)
+
+// RebalanceReport summarises a fleet rebalancing run.
+type RebalanceReport struct {
+	// Moves is the number of truck stops with a pickup or drop-off.
+	Moves int `json:"moves"`
+	// BikesMoved is the total number of bikes lifted onto the truck.
+	BikesMoved int `json:"bikesMoved"`
+	// DistanceMeters is the truck's travel distance.
+	DistanceMeters float64 `json:"distanceMeters"`
+	// Unmet is the inventory deficit that could not be satisfied.
+	Unmet int `json:"unmet"`
+	// ImbalanceBefore/After measure Σ|inventory − target|.
+	ImbalanceBefore int `json:"imbalanceBefore"`
+	ImbalanceAfter  int `json:"imbalanceAfter"`
+}
+
+// Rebalance redistributes the fleet across the established stations so
+// that inventories track the historical demand shares (the balancing
+// procedure the paper assumes as a prerequisite, refs [9]–[11]). Bikes
+// are physically relocated by the truck (no battery drain).
+// truckCapacity is the bikes the truck carries at once.
+func (s *System) Rebalance(truckCapacity int) (RebalanceReport, error) {
+	if s.placer == nil {
+		return RebalanceReport{}, ErrNotPlanned
+	}
+	if truckCapacity < 1 {
+		return RebalanceReport{}, fmt.Errorf("esharing: truck capacity %d < 1", truckCapacity)
+	}
+	stations := s.placer.Stations()
+	if len(stations) == 0 {
+		return RebalanceReport{}, ErrNotPlanned
+	}
+
+	// Inventory: nearest-station assignment of every bike.
+	grouped := s.fleet.GroupByStation(stations, math.Inf(1), false)
+	rbStations := make([]rebalance.Station, len(stations))
+	for i, loc := range stations {
+		rbStations[i] = rebalance.Station{Loc: loc, Bikes: len(grouped[i])}
+	}
+
+	// Demand weights: historical arrivals near each station.
+	weights := make([]float64, len(stations))
+	for _, p := range s.histPoints() {
+		if idx, _ := geo.Nearest(p, stations); idx >= 0 {
+			weights[idx]++
+		}
+	}
+	targeted, err := rebalance.ProportionalTargets(rbStations, weights)
+	if err != nil {
+		return RebalanceReport{}, err
+	}
+	before := rebalance.TotalImbalance(targeted)
+	plan, err := rebalance.Solve(targeted, truckCapacity)
+	if err != nil {
+		return RebalanceReport{}, err
+	}
+
+	// Execute: physically move bikes according to the plan.
+	pools := make([][]int64, len(stations))
+	for i := range stations {
+		pools[i] = append([]int64(nil), grouped[i]...)
+	}
+	var aboard []int64
+	report := RebalanceReport{Unmet: plan.Unmet, DistanceMeters: plan.Distance, ImbalanceBefore: before}
+	for _, mv := range plan.Moves {
+		report.Moves++
+		switch {
+		case mv.Delta < 0: // pickup
+			take := -mv.Delta
+			for k := 0; k < take && len(pools[mv.Station]) > 0; k++ {
+				id := pools[mv.Station][0]
+				pools[mv.Station] = pools[mv.Station][1:]
+				aboard = append(aboard, id)
+				report.BikesMoved++
+			}
+		case mv.Delta > 0: // drop-off
+			for k := 0; k < mv.Delta && len(aboard) > 0; k++ {
+				id := aboard[0]
+				aboard = aboard[1:]
+				if err := s.fleet.Teleport(id, stations[mv.Station]); err != nil {
+					return RebalanceReport{}, err
+				}
+				pools[mv.Station] = append(pools[mv.Station], id)
+			}
+		}
+	}
+	applied, err := rebalance.Apply(targeted, plan)
+	if err != nil {
+		return RebalanceReport{}, err
+	}
+	report.ImbalanceAfter = rebalance.TotalImbalance(applied)
+	return report, nil
+}
+
+// histPoints converts the stored historical plan input back to geo space.
+func (s *System) histPoints() []geo.Point {
+	if s.placer == nil {
+		return nil
+	}
+	// The online placer keeps the historical sample H; reuse it.
+	return s.hist
+}
+
+// DemandForecast predicts total demand for the next `hours` hours from an
+// hourly demand series using the configured LSTM shape (2 layers,
+// 12-step lookback — Table II's winner).
+func (s *System) DemandForecast(hourlySeries []float64, hours int) ([]float64, error) {
+	model, err := forecast.NewLSTM(forecast.LSTMConfig{
+		Hidden: 24, Layers: 2, Lookback: 12, Epochs: 30,
+		LearningRate: 0.01, ClipNorm: 1, Seed: s.cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := model.Fit(hourlySeries); err != nil {
+		return nil, fmt.Errorf("esharing: forecast fit: %w", err)
+	}
+	preds, err := model.Forecast(hourlySeries, hours)
+	if err != nil {
+		return nil, fmt.Errorf("esharing: forecast: %w", err)
+	}
+	for i, v := range preds {
+		if v < 0 {
+			preds[i] = 0
+		}
+	}
+	return preds, nil
+}
+
+// FleetStatus aggregates fleet health for dashboards.
+type FleetStatus struct {
+	Bikes    int     `json:"bikes"`
+	Low      int     `json:"low"`
+	AvgLevel float64 `json:"avgLevel"`
+}
+
+// Fleet returns the aggregate fleet status.
+func (s *System) Fleet() FleetStatus {
+	bikes := s.fleet.Bikes()
+	status := FleetStatus{Bikes: len(bikes)}
+	var sum float64
+	model := s.fleet.Model()
+	for _, b := range bikes {
+		sum += b.Level
+		if b.Low(model) {
+			status.Low++
+		}
+	}
+	if len(bikes) > 0 {
+		status.AvgLevel = sum / float64(len(bikes))
+	}
+	return status
+}

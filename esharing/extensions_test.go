@@ -1,0 +1,120 @@
+package esharing
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestRebalanceBeforePlan(t *testing.T) {
+	sys, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Rebalance(5); !errors.Is(err, ErrNotPlanned) {
+		t.Errorf("want ErrNotPlanned, got %v", err)
+	}
+}
+
+func TestRebalanceValidation(t *testing.T) {
+	sys, _ := plannedSystem(t)
+	if _, err := sys.Rebalance(0); err == nil {
+		t.Error("capacity 0 should error")
+	}
+}
+
+func TestRebalanceReducesImbalance(t *testing.T) {
+	sys, plan := plannedSystem(t)
+	// Pile every bike onto the first station: maximal imbalance.
+	for i := int64(1); i <= 24; i++ {
+		if err := sys.AddBike(i, plan.Stations[0], 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	report, err := sys.Rebalance(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ImbalanceAfter >= report.ImbalanceBefore {
+		t.Errorf("imbalance %d -> %d; rebalancing failed", report.ImbalanceBefore, report.ImbalanceAfter)
+	}
+	if report.BikesMoved == 0 || report.Moves == 0 {
+		t.Errorf("no work done: %+v", report)
+	}
+	// The bikes should now spread across stations.
+	spread := map[Point]int{}
+	for _, b := range sys.Bikes() {
+		spread[b.Loc]++
+	}
+	if len(spread) < 2 {
+		t.Errorf("bikes still piled at %d location(s)", len(spread))
+	}
+}
+
+func TestRebalanceNoOpWhenBalanced(t *testing.T) {
+	sys, plan := plannedSystem(t)
+	// Spread bikes roughly evenly — imbalance stays small either way.
+	id := int64(1)
+	for _, st := range plan.Stations {
+		for k := 0; k < 4; k++ {
+			if err := sys.AddBike(id, st, 1.0); err != nil {
+				t.Fatal(err)
+			}
+			id++
+		}
+	}
+	report, err := sys.Rebalance(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ImbalanceAfter > report.ImbalanceBefore {
+		t.Errorf("rebalancing worsened: %+v", report)
+	}
+}
+
+func TestDemandForecast(t *testing.T) {
+	sys, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A simple daily cycle.
+	series := make([]float64, 24*10)
+	for i := range series {
+		series[i] = 100 + 50*math.Sin(2*math.Pi*float64(i%24)/24)
+	}
+	preds, err := sys.DemandForecast(series, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 6 {
+		t.Fatalf("got %d predictions", len(preds))
+	}
+	for _, v := range preds {
+		if v < 0 || v > 400 {
+			t.Errorf("prediction %v implausible for a series in [50,150]", v)
+		}
+	}
+	if _, err := sys.DemandForecast(series[:4], 2); err == nil {
+		t.Error("too-short series should error")
+	}
+}
+
+func TestFleetStatus(t *testing.T) {
+	sys, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Fleet(); got.Bikes != 0 || got.AvgLevel != 0 {
+		t.Errorf("empty fleet status: %+v", got)
+	}
+	if err := sys.AddBike(1, Pt(0, 0), 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddBike(2, Pt(0, 0), 0.9); err != nil {
+		t.Fatal(err)
+	}
+	got := sys.Fleet()
+	if got.Bikes != 2 || got.Low != 1 || math.Abs(got.AvgLevel-0.5) > 1e-12 {
+		t.Errorf("status: %+v", got)
+	}
+}

@@ -1,0 +1,95 @@
+// Quickstart: plan parking locations from historical demand, stream live
+// trip requests, and run one incentivised charging round — the whole
+// E-Sharing loop in ~80 lines against the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"repro/esharing"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sys, err := esharing.New(esharing.DefaultConfig())
+	if err != nil {
+		return err
+	}
+
+	// Historical destinations: three POI clusters (office, subway,
+	// residential).
+	rng := rand.New(rand.NewPCG(42, 43))
+	centers := []esharing.Point{
+		esharing.Pt(400, 400), esharing.Pt(1600, 500), esharing.Pt(1000, 1400),
+	}
+	var history []esharing.Point
+	for _, c := range centers {
+		for i := 0; i < 80; i++ {
+			history = append(history, esharing.Pt(
+				c.X+rng.NormFloat64()*90, c.Y+rng.NormFloat64()*90))
+		}
+	}
+
+	// Tier 1a: offline plan (1.61-factor facility location).
+	plan, err := sys.PlanOffline(history)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("offline plan: %d stations, walking %.0f m + space %.0f m = %.0f\n",
+		len(plan.Stations), plan.WalkingCost, plan.OpeningCost, plan.TotalCost())
+
+	// Park some bikes at the planned stations so tier 2 has a fleet.
+	id := int64(1)
+	for _, st := range plan.Stations {
+		for k := 0; k < 8; k++ {
+			level := 0.85
+			if k%4 == 0 {
+				level = 0.12 // the low-battery tail
+			}
+			if err := sys.AddBike(id, st, level); err != nil {
+				return err
+			}
+			id++
+		}
+	}
+
+	// Tier 1b: stream live requests through the online algorithm.
+	var opened int
+	var walked float64
+	for i := 0; i < 200; i++ {
+		c := centers[rng.IntN(len(centers))]
+		dest := esharing.Pt(c.X+rng.NormFloat64()*90, c.Y+rng.NormFloat64()*90)
+		d, err := sys.Request(dest)
+		if err != nil {
+			return err
+		}
+		if d.Opened {
+			opened++
+		}
+		walked += d.WalkMeters
+	}
+	fmt.Printf("live stream: 200 requests, %d new stations, avg walk %.0f m, similarity %.1f%%\n",
+		opened, walked/200, sys.Similarity())
+
+	// Tier 2: one charging round with incentives.
+	report, err := sys.ChargingRound()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("charging round (alpha %.1f): %d low bikes, %d relocated by users,\n",
+		report.Alpha, report.TotalLowBikes, report.Relocated)
+	fmt.Printf("  %d sites need service, %d visited, %.1f%% charged, tour %.1f km\n",
+		report.StationsNeedingService, report.StationsVisited,
+		report.ChargedPct, report.TourLengthMeters/1000)
+	fmt.Printf("  cost: service $%.0f + delay $%.0f + energy $%.0f + incentives $%.0f = $%.0f\n",
+		report.ServiceCost, report.DelayCost, report.EnergyCost,
+		report.IncentivesPaid, report.TotalCost())
+	return nil
+}

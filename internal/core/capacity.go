@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// AssignCapacitated assigns every demand to one of the open stations
+// subject to per-station capacity (maximum arrivals a station's racks can
+// absorb per period) — the capacitated extension of the PLP assignment.
+// The paper assumes balanced reserves keep stations uncongested; this
+// models the constraint explicitly for deployments that cannot.
+//
+// Demands are atomic (a grid cell's arrivals all park together, matching
+// the x_ij ∈ {0,1} constraint of Eq. 4), so the problem is a generalised
+// assignment; the solver uses the max-regret greedy: repeatedly commit
+// the unassigned demand whose gap between its best and second-best
+// feasible station is largest.
+//
+// capacity[k] bounds the arrivals assigned to open[k]. It errors when the
+// total capacity cannot cover the demands or an atomic demand exceeds
+// every station's capacity.
+func AssignCapacitated(p *Problem, open []int, capacity []float64) (*Solution, Cost, error) {
+	if len(open) == 0 {
+		return nil, Cost{}, ErrNoStations
+	}
+	if len(capacity) != len(open) {
+		return nil, Cost{}, fmt.Errorf("core: %d capacities for %d stations", len(capacity), len(open))
+	}
+	var totalCap, totalDemand float64
+	for k, c := range capacity {
+		if c < 0 || math.IsNaN(c) {
+			return nil, Cost{}, fmt.Errorf("core: capacity %d is %v", k, c)
+		}
+		totalCap += c
+	}
+	for _, d := range p.Demands {
+		totalDemand += d.Arrivals
+	}
+	if totalCap < totalDemand {
+		return nil, Cost{}, fmt.Errorf("core: total capacity %.1f < demand %.1f", totalCap, totalDemand)
+	}
+
+	n := len(p.Demands)
+	remaining := append([]float64(nil), capacity...)
+	assign := make([]int, n)
+	done := make([]bool, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+
+	for assigned := 0; assigned < n; assigned++ {
+		// Pick the unassigned demand with maximum regret.
+		bestJ := -1
+		var bestRegret, bestCost float64
+		bestK := -1
+		for j := 0; j < n; j++ {
+			if done[j] {
+				continue
+			}
+			k1, c1, c2 := bestTwoFeasible(p, open, remaining, j)
+			if k1 < 0 {
+				return nil, Cost{}, fmt.Errorf(
+					"core: demand %d (%.1f arrivals) fits no remaining capacity", j, p.Demands[j].Arrivals)
+			}
+			regret := c2 - c1 // +Inf when only one feasible station remains
+			if bestJ < 0 || regret > bestRegret || (regret == bestRegret && c1 < bestCost) {
+				bestJ, bestRegret, bestCost, bestK = j, regret, c1, k1
+			}
+		}
+		assign[bestJ] = open[bestK]
+		remaining[bestK] -= p.Demands[bestJ].Arrivals
+		done[bestJ] = true
+	}
+
+	sol := &Solution{Open: append([]int(nil), open...), Assign: assign}
+	cost, err := p.Evaluate(sol)
+	if err != nil {
+		return nil, Cost{}, err
+	}
+	return sol, cost, nil
+}
+
+// bestTwoFeasible returns the index (into open) and walking cost of the
+// cheapest feasible station for demand j, plus the second-cheapest cost
+// (+Inf when only one station is feasible). k1 is -1 when none fits.
+func bestTwoFeasible(p *Problem, open []int, remaining []float64, j int) (k1 int, c1, c2 float64) {
+	k1 = -1
+	c1, c2 = math.Inf(1), math.Inf(1)
+	need := p.Demands[j].Arrivals
+	for k, i := range open {
+		if remaining[k] < need {
+			continue
+		}
+		c := p.Walk(i, j)
+		switch {
+		case c < c1:
+			c2 = c1
+			k1, c1 = k, c
+		case c < c2:
+			c2 = c
+		}
+	}
+	return k1, c1, c2
+}
+
+// StationLoads sums assigned arrivals per open station, keyed by
+// candidate index.
+func StationLoads(p *Problem, sol *Solution) map[int]float64 {
+	out := make(map[int]float64, len(sol.Open))
+	for j, i := range sol.Assign {
+		out[i] += p.Demands[j].Arrivals
+	}
+	return out
+}

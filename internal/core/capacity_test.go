@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/stats"
+)
+
+func TestAssignCapacitatedValidation(t *testing.T) {
+	p, err := UniformProblem([]geo.Point{geo.Pt(0, 0), geo.Pt(100, 0)}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := AssignCapacitated(p, nil, nil); err == nil {
+		t.Error("no stations should error")
+	}
+	if _, _, err := AssignCapacitated(p, []int{0}, []float64{1, 2}); err == nil {
+		t.Error("capacity length mismatch should error")
+	}
+	if _, _, err := AssignCapacitated(p, []int{0}, []float64{-1}); err == nil {
+		t.Error("negative capacity should error")
+	}
+	if _, _, err := AssignCapacitated(p, []int{0}, []float64{1}); err == nil {
+		t.Error("insufficient total capacity should error")
+	}
+}
+
+func TestAssignCapacitatedMatchesNearestWhenAmple(t *testing.T) {
+	rng := stats.NewRNG(71)
+	pts := stats.SamplePoints(rng, stats.UniformDist{Box: geo.Square(geo.Pt(0, 0), 1000)}, 25)
+	p, err := UniformProblem(pts, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := []int{0, 7, 14, 21}
+	capacity := []float64{100, 100, 100, 100}
+	sol, cost, err := AssignCapacitated(p, open, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With infinite-ish capacity, assignment must be nearest-station.
+	nearest := &Solution{Open: open, Assign: make([]int, len(pts))}
+	if err := p.ReassignNearest(nearest); err != nil {
+		t.Fatal(err)
+	}
+	nearestCost, err := p.Evaluate(nearest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cost.Walking-nearestCost.Walking) > 1e-9 {
+		t.Errorf("ample capacity walking %v != nearest %v", cost.Walking, nearestCost.Walking)
+	}
+	for j := range pts {
+		if sol.Assign[j] != nearest.Assign[j] {
+			t.Fatalf("demand %d assigned to %d, nearest is %d", j, sol.Assign[j], nearest.Assign[j])
+		}
+	}
+}
+
+func TestAssignCapacitatedRespectsCapacity(t *testing.T) {
+	// Three demands want the near station; capacity forces one away.
+	pts := []geo.Point{
+		geo.Pt(0, 0),   // candidate/near station
+		geo.Pt(500, 0), // candidate/far station
+		geo.Pt(10, 0), geo.Pt(20, 0), geo.Pt(30, 0),
+	}
+	demands := make([]Demand, len(pts))
+	for i, pt := range pts {
+		demands[i] = Demand{Loc: pt, Arrivals: 1}
+	}
+	p, err := NewProblem(demands, []float64{10, 10, 10, 10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := []int{0, 1}
+	sol, _, err := AssignCapacitated(p, open, []float64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := StationLoads(p, sol)
+	if loads[0] > 3 {
+		t.Errorf("station 0 load %v exceeds capacity 3", loads[0])
+	}
+	// Demands 0,2,3 (closest three) should hold the near station; the
+	// rest spill to the far one.
+	if loads[0]+loads[1] != 5 {
+		t.Errorf("loads %v do not cover all demands", loads)
+	}
+}
+
+func TestAssignCapacitatedSpilloverMinimisesDamage(t *testing.T) {
+	// Near station capacity 1: exactly one local demand stays; the regret
+	// heuristic must keep the one that would suffer most elsewhere.
+	pts := []geo.Point{
+		geo.Pt(0, 0),    // near station
+		geo.Pt(1000, 0), // far station
+		geo.Pt(5, 0),    // local demand A (far cost ~995)
+		geo.Pt(400, 0),  // mid demand B (far cost 600)
+	}
+	demands := make([]Demand, len(pts))
+	for i, pt := range pts {
+		demands[i] = Demand{Loc: pt, Arrivals: 1}
+	}
+	p, err := NewProblem(demands, []float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capacity 2 at near: the stations themselves are also demands and
+	// sit on their own spot; give near capacity for station-demand + A.
+	sol, _, err := AssignCapacitated(p, []int{0, 1}, []float64{2, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Assign[2] != 0 {
+		t.Errorf("demand A assigned to %d, want the near station", sol.Assign[2])
+	}
+	if sol.Assign[3] != 1 {
+		t.Errorf("demand B assigned to %d, want spillover to far", sol.Assign[3])
+	}
+}
+
+func TestAssignCapacitatedAtomicDemandTooBig(t *testing.T) {
+	demands := []Demand{
+		{Loc: geo.Pt(0, 0), Arrivals: 5},
+		{Loc: geo.Pt(10, 0), Arrivals: 1},
+	}
+	p, err := NewProblem(demands, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total capacity 6 covers the sum, but no single station fits the
+	// 5-arrival atom.
+	if _, _, err := AssignCapacitated(p, []int{0, 1}, []float64{4, 2}); err == nil {
+		t.Error("oversized atomic demand should error")
+	}
+}
+
+func TestStationLoadsTotalsArrivals(t *testing.T) {
+	rng := stats.NewRNG(73)
+	pts := stats.SamplePoints(rng, stats.UniformDist{Box: geo.Square(geo.Pt(0, 0), 800)}, 15)
+	demands := make([]Demand, len(pts))
+	var total float64
+	for i, pt := range pts {
+		demands[i] = Demand{Loc: pt, Arrivals: 1 + rng.Float64()*3}
+		total += demands[i].Arrivals
+	}
+	opening := make([]float64, len(pts))
+	for i := range opening {
+		opening[i] = 10
+	}
+	p, err := NewProblem(demands, opening)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, _, err := AssignCapacitated(p, []int{0, 5, 10}, []float64{total, total, total})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, load := range StationLoads(p, sol) {
+		sum += load
+	}
+	if math.Abs(sum-total) > 1e-9 {
+		t.Errorf("loads sum %v, want %v", sum, total)
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geo"
+)
+
+// CoverageStats quantifies the rider experience of a station layout — the
+// operational view behind the paper's "average walking distance (about
+// 180 m of 2-min walk), acceptable to most users".
+type CoverageStats struct {
+	// AvgWalkM and P95WalkM summarise the walk from each destination to
+	// its nearest station.
+	AvgWalkM float64 `json:"avgWalkM"`
+	P95WalkM float64 `json:"p95WalkM"`
+	MaxWalkM float64 `json:"maxWalkM"`
+	// CoveredFrac is the fraction of destinations within the radius.
+	CoveredFrac float64 `json:"coveredFrac"`
+}
+
+// CoverageOf measures stations against a destination sample with the
+// given coverage radius (e.g. the tolerance L).
+func CoverageOf(stations, dests []geo.Point, radius float64) (CoverageStats, error) {
+	if len(stations) == 0 {
+		return CoverageStats{}, ErrNoStations
+	}
+	if len(dests) == 0 {
+		return CoverageStats{}, fmt.Errorf("core: no destinations to measure coverage on")
+	}
+	if radius <= 0 {
+		return CoverageStats{}, fmt.Errorf("core: coverage radius %v must be positive", radius)
+	}
+	walks := make([]float64, len(dests))
+	var sum float64
+	covered := 0
+	tree := geo.BuildKDTree(stations)
+	for i, d := range dests {
+		_, dist := tree.Nearest(d)
+		walks[i] = dist
+		sum += dist
+		if dist <= radius {
+			covered++
+		}
+	}
+	sort.Float64s(walks)
+	// Nearest-rank percentile: the smallest walk with at least 95% of
+	// the sample at or below it.
+	idx := (len(walks)*95 + 99) / 100 // ceil(0.95 n)
+	if idx < 1 {
+		idx = 1
+	}
+	p95 := walks[idx-1]
+	return CoverageStats{
+		AvgWalkM:    sum / float64(len(dests)),
+		P95WalkM:    p95,
+		MaxWalkM:    walks[len(walks)-1],
+		CoveredFrac: float64(covered) / float64(len(dests)),
+	}, nil
+}

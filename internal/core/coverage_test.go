@@ -1,0 +1,77 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/stats"
+)
+
+func TestCoverageOfValidation(t *testing.T) {
+	pts := []geo.Point{geo.Pt(0, 0)}
+	if _, err := CoverageOf(nil, pts, 100); !errors.Is(err, ErrNoStations) {
+		t.Errorf("no stations: %v", err)
+	}
+	if _, err := CoverageOf(pts, nil, 100); err == nil {
+		t.Error("no destinations should error")
+	}
+	if _, err := CoverageOf(pts, pts, 0); err == nil {
+		t.Error("zero radius should error")
+	}
+}
+
+func TestCoverageOfKnownLayout(t *testing.T) {
+	stations := []geo.Point{geo.Pt(0, 0), geo.Pt(1000, 0)}
+	dests := []geo.Point{
+		geo.Pt(0, 100),    // walk 100, covered at 200
+		geo.Pt(1000, 150), // walk 150, covered
+		geo.Pt(500, 0),    // walk 500, uncovered
+		geo.Pt(0, 50),     // walk 50, covered
+	}
+	stats, err := CoverageOf(stations, dests, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(stats.AvgWalkM-200) > 1e-9 {
+		t.Errorf("avg=%v, want 200", stats.AvgWalkM)
+	}
+	if stats.MaxWalkM != 500 {
+		t.Errorf("max=%v, want 500", stats.MaxWalkM)
+	}
+	if math.Abs(stats.CoveredFrac-0.75) > 1e-12 {
+		t.Errorf("covered=%v, want 0.75", stats.CoveredFrac)
+	}
+	if stats.P95WalkM > stats.MaxWalkM || stats.P95WalkM < stats.AvgWalkM {
+		t.Errorf("p95=%v inconsistent", stats.P95WalkM)
+	}
+}
+
+func TestCoverageImprovesWithOfflinePlan(t *testing.T) {
+	// The planned layout must dominate a single arbitrary station.
+	rng := stats.NewRNG(81)
+	dests := stats.SamplePoints(rng, stats.UniformDist{Box: geo.Square(geo.Pt(0, 0), 2000)}, 150)
+	p, err := UniformProblem(dests, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := SolveOffline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned, err := CoverageOf(p.Stations(sol), dests, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := CoverageOf(dests[:1], dests, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planned.AvgWalkM >= single.AvgWalkM {
+		t.Errorf("planned avg %v >= single-station %v", planned.AvgWalkM, single.AvgWalkM)
+	}
+	if planned.CoveredFrac <= single.CoveredFrac {
+		t.Errorf("planned coverage %v <= single-station %v", planned.CoveredFrac, single.CoveredFrac)
+	}
+}

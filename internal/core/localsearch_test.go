@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/stats"
+)
+
+func TestLocalSearchNeverWorsens(t *testing.T) {
+	rng := stats.NewRNG(61)
+	for trial := 0; trial < 15; trial++ {
+		pts := stats.SamplePoints(rng, stats.UniformDist{Box: geo.Square(geo.Pt(0, 0), 1500)}, 30+rng.IntN(20))
+		p, err := UniformProblem(pts, 1000+rng.Float64()*6000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := SolveOffline(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before, err := p.Evaluate(sol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		improved, moves, err := ImproveLocalSearch(p, sol, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := p.Evaluate(improved)
+		if err != nil {
+			t.Fatalf("trial %d: improved solution infeasible: %v", trial, err)
+		}
+		if after.Total() > before.Total()+1e-6 {
+			t.Errorf("trial %d: local search worsened %v -> %v (%d moves)",
+				trial, before.Total(), after.Total(), moves)
+		}
+	}
+}
+
+func TestLocalSearchFixesBadSolution(t *testing.T) {
+	// A deliberately wasteful solution (every candidate open) must be
+	// slashed toward the optimum.
+	pts := []geo.Point{
+		geo.Pt(0, 0), geo.Pt(10, 0), geo.Pt(0, 10),
+		geo.Pt(2000, 2000), geo.Pt(2010, 2000), geo.Pt(2000, 2010),
+	}
+	p, err := UniformProblem(pts, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := &Solution{Open: []int{0, 1, 2, 3, 4, 5}, Assign: []int{0, 1, 2, 3, 4, 5}}
+	improved, moves, err := ImproveLocalSearch(p, all, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moves == 0 {
+		t.Fatal("no moves applied to a wasteful solution")
+	}
+	if len(improved.Open) != 2 {
+		t.Errorf("kept %d stations, want 2 (one per cluster)", len(improved.Open))
+	}
+	cost, err := p.Evaluate(improved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := bruteForceOptimum(p)
+	if cost.Total() > opt+1e-6 {
+		t.Errorf("local search total %v, optimum %v", cost.Total(), opt)
+	}
+}
+
+func TestLocalSearchReachesOptimumOnTiny(t *testing.T) {
+	// greedy + local search should hit the brute-force optimum on most
+	// tiny instances.
+	rng := stats.NewRNG(62)
+	hits := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		n := 5 + rng.IntN(4)
+		pts := stats.SamplePoints(rng, stats.UniformDist{Box: geo.Square(geo.Pt(0, 0), 1000)}, n)
+		p, err := UniformProblem(pts, 300+rng.Float64()*2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := SolveOffline(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		improved, _, err := ImproveLocalSearch(p, sol, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost, err := p.Evaluate(improved)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := bruteForceOptimum(p)
+		if cost.Total() <= opt+1e-6 {
+			hits++
+		}
+	}
+	if hits < trials*8/10 {
+		t.Errorf("optimum reached on %d/%d tiny instances, want >= 80%%", hits, trials)
+	}
+}
+
+func TestLocalSearchZeroIters(t *testing.T) {
+	pts := []geo.Point{geo.Pt(0, 0), geo.Pt(100, 0)}
+	p, err := UniformProblem(pts, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := &Solution{Open: []int{0}, Assign: []int{0, 0}}
+	improved, moves, err := ImproveLocalSearch(p, sol, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moves != 0 {
+		t.Errorf("moves=%d with 0 iters", moves)
+	}
+	// Input must not be mutated.
+	if len(sol.Open) != 1 || sol.Open[0] != 0 {
+		t.Error("input solution mutated")
+	}
+	if _, err := p.Evaluate(improved); err != nil {
+		t.Errorf("returned solution infeasible: %v", err)
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// SolveOffline runs the paper's Algorithm 1: the Jain–Mahdian–Markakis–
+// Saberi–Vazirani greedy (JACM 2003), a 1.61-approximation for metric
+// uncapacitated facility location, near the 1.46 inapproximability bound.
+//
+// Each iteration picks the candidate i and client set B minimising
+//
+//	( f_i + Σ_{j∈B} c_ij − Σ_{j∈B'_i} (c_{i'j} − c_ij) ) / |B|   (Eq. 5)
+//
+// where B ranges over prefixes of unconnected clients sorted by c_ij and
+// B'_i is the set of already-connected clients that would save by
+// switching to i. Opened facilities have their opening cost zeroed so
+// later iterations may continue to attract switchers for free. The loop
+// ends when every client is connected; complexity O(N³).
+func SolveOffline(p *Problem) (*Solution, error) {
+	n := len(p.Demands)
+	if n == 0 {
+		return nil, ErrEmptyProblem
+	}
+
+	const unassigned = -1
+	assign := make([]int, n)
+	curCost := make([]float64, n)
+	for j := range assign {
+		assign[j] = unassigned
+		curCost[j] = math.Inf(1)
+	}
+	opened := make([]bool, n)
+	openCost := append([]float64(nil), p.Opening...)
+	var openOrder []int
+	remaining := n
+
+	type bestChoice struct {
+		cand   int
+		prefix int // number of unconnected clients to connect
+		ratio  float64
+		sorted []int // unconnected clients sorted by walk cost
+	}
+
+	for remaining > 0 {
+		best := bestChoice{cand: -1, ratio: math.Inf(1)}
+		for i := 0; i < n; i++ {
+			// Savings from already-connected clients that prefer i.
+			var savings float64
+			for j := 0; j < n; j++ {
+				if assign[j] == unassigned {
+					continue
+				}
+				if c := p.Walk(i, j); c < curCost[j] {
+					savings += curCost[j] - c
+				}
+			}
+			// Unconnected clients sorted by connection cost to i.
+			unconn := make([]int, 0, remaining)
+			for j := 0; j < n; j++ {
+				if assign[j] == unassigned {
+					unconn = append(unconn, j)
+				}
+			}
+			sort.Slice(unconn, func(a, b int) bool {
+				return p.Walk(i, unconn[a]) < p.Walk(i, unconn[b])
+			})
+			base := openCost[i] - savings
+			var acc float64
+			for k, j := range unconn {
+				acc += p.Walk(i, j)
+				ratio := (base + acc) / float64(k+1)
+				if ratio < best.ratio {
+					best = bestChoice{cand: i, prefix: k + 1, ratio: ratio, sorted: unconn}
+				}
+			}
+		}
+		if best.cand == -1 {
+			// Unreachable for valid instances: every candidate can always
+			// connect at least one client.
+			return nil, ErrEmptyProblem
+		}
+		i := best.cand
+		if !opened[i] {
+			opened[i] = true
+			openOrder = append(openOrder, i)
+		}
+		openCost[i] = 0
+		// Connect the chosen unconnected prefix.
+		for _, j := range best.sorted[:best.prefix] {
+			assign[j] = i
+			curCost[j] = p.Walk(i, j)
+			remaining--
+		}
+		// Switch connected clients that save.
+		for j := 0; j < n; j++ {
+			if assign[j] == unassigned || assign[j] == i {
+				continue
+			}
+			if c := p.Walk(i, j); c < curCost[j] {
+				assign[j] = i
+				curCost[j] = c
+			}
+		}
+	}
+
+	sol := &Solution{Open: openOrder, Assign: assign}
+	// Final clean-up: nearest reassignment can only help.
+	if err := p.ReassignNearest(sol); err != nil {
+		return nil, err
+	}
+	dropUnusedStations(p, sol)
+	return sol, nil
+}
+
+// dropUnusedStations removes opened candidates that serve no demand after
+// reassignment (possible when a late station absorbs all of an earlier
+// one's clients).
+func dropUnusedStations(p *Problem, sol *Solution) {
+	used := map[int]bool{}
+	for _, i := range sol.Assign {
+		used[i] = true
+	}
+	kept := sol.Open[:0]
+	for _, i := range sol.Open {
+		if used[i] {
+			kept = append(kept, i)
+		}
+	}
+	sol.Open = kept
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/stats"
+)
+
+func solveAndEvaluate(t *testing.T, p *Problem) (*Solution, Cost) {
+	t.Helper()
+	sol, err := SolveOffline(p)
+	if err != nil {
+		t.Fatalf("SolveOffline: %v", err)
+	}
+	cost, err := p.Evaluate(sol)
+	if err != nil {
+		t.Fatalf("offline solution infeasible: %v", err)
+	}
+	return sol, cost
+}
+
+func TestSolveOfflineEmpty(t *testing.T) {
+	if _, err := SolveOffline(&Problem{}); err == nil {
+		t.Error("empty problem should error")
+	}
+}
+
+func TestSolveOfflineSinglePoint(t *testing.T) {
+	p, err := UniformProblem([]geo.Point{geo.Pt(5, 5)}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, cost := solveAndEvaluate(t, p)
+	if len(sol.Open) != 1 || cost.Total() != 10 {
+		t.Errorf("single point: open=%v cost=%v", sol.Open, cost)
+	}
+}
+
+func TestSolveOfflineTwoClusters(t *testing.T) {
+	// Two tight clusters 10 km apart. With cheap opening the solver must
+	// open one station per cluster; with prohibitive opening, exactly one
+	// station total.
+	pts := []geo.Point{
+		geo.Pt(0, 0), geo.Pt(10, 0), geo.Pt(0, 10),
+		geo.Pt(10000, 0), geo.Pt(10010, 0), geo.Pt(10000, 10),
+	}
+	t.Run("cheap opening", func(t *testing.T) {
+		p, err := UniformProblem(pts, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, cost := solveAndEvaluate(t, p)
+		if len(sol.Open) != 2 {
+			t.Errorf("opened %d stations, want 2 (cost %v)", len(sol.Open), cost)
+		}
+		// No assignment should cross clusters.
+		if cost.Walking > 100 {
+			t.Errorf("walking %v suggests cross-cluster assignment", cost.Walking)
+		}
+	})
+	t.Run("prohibitive opening", func(t *testing.T) {
+		p, err := UniformProblem(pts, 1e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, _ := solveAndEvaluate(t, p)
+		if len(sol.Open) != 1 {
+			t.Errorf("opened %d stations, want 1", len(sol.Open))
+		}
+	})
+}
+
+// bruteForceOptimum enumerates all non-empty station subsets; only usable
+// for tiny n.
+func bruteForceOptimum(p *Problem) float64 {
+	n := len(p.Demands)
+	best := math.Inf(1)
+	for mask := 1; mask < 1<<n; mask++ {
+		var opening float64
+		var open []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				opening += p.Opening[i]
+				open = append(open, i)
+			}
+		}
+		var walking float64
+		for j := 0; j < n; j++ {
+			minC := math.Inf(1)
+			for _, i := range open {
+				if c := p.Walk(i, j); c < minC {
+					minC = c
+				}
+			}
+			walking += minC
+		}
+		if total := opening + walking; total < best {
+			best = total
+		}
+	}
+	return best
+}
+
+func TestSolveOfflineApproximationFactor(t *testing.T) {
+	// The greedy is a 1.61-approximation; verify against brute force on
+	// random 8-point instances with varied opening costs.
+	rng := stats.NewRNG(77)
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + rng.IntN(4)
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			pts[i] = geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		}
+		opening := make([]float64, n)
+		for i := range opening {
+			opening[i] = 100 + rng.Float64()*900
+		}
+		demands := make([]Demand, n)
+		for i, pt := range pts {
+			demands[i] = Demand{Loc: pt, Arrivals: 1 + rng.Float64()*4}
+		}
+		p, err := NewProblem(demands, opening)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, cost := solveAndEvaluate(t, p)
+		opt := bruteForceOptimum(p)
+		if cost.Total() > 1.61*opt+1e-6 {
+			t.Errorf("trial %d: greedy %v exceeds 1.61x optimum %v", trial, cost.Total(), opt)
+		}
+		if cost.Total() < opt-1e-6 {
+			t.Errorf("trial %d: greedy %v below optimum %v (infeasible?)", trial, cost.Total(), opt)
+		}
+	}
+}
+
+func TestSolveOfflineNoUnusedStations(t *testing.T) {
+	rng := stats.NewRNG(31)
+	pts := stats.SamplePoints(rng, stats.UniformDist{Box: geo.Square(geo.Pt(0, 0), 1000)}, 60)
+	p, err := UniformProblem(pts, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, _ := solveAndEvaluate(t, p)
+	used := map[int]bool{}
+	for _, i := range sol.Assign {
+		used[i] = true
+	}
+	for _, i := range sol.Open {
+		if !used[i] {
+			t.Errorf("station %d opened but unused", i)
+		}
+	}
+}
+
+func TestSolveOfflineAssignsNearest(t *testing.T) {
+	rng := stats.NewRNG(32)
+	pts := stats.SamplePoints(rng, stats.UniformDist{Box: geo.Square(geo.Pt(0, 0), 1000)}, 40)
+	p, err := UniformProblem(pts, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, _ := solveAndEvaluate(t, p)
+	for j, i := range sol.Assign {
+		cur := p.Walk(i, j)
+		for _, alt := range sol.Open {
+			if p.Walk(alt, j) < cur-1e-9 {
+				t.Fatalf("demand %d assigned to %d but %d is closer", j, i, alt)
+			}
+		}
+	}
+}
+
+func TestSolveOfflineFig4Shape(t *testing.T) {
+	// Fig. 4(a): 100 uniform arrivals in a 1000x1000 field with f=5000
+	// yield a handful of stations (paper: 5) with walking cost well below
+	// opening cost x stations.
+	rng := stats.NewRNG(4)
+	pts := stats.SamplePoints(rng, stats.UniformDist{Box: geo.Square(geo.Pt(0, 0), 1000)}, 100)
+	p, err := UniformProblem(pts, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, cost := solveAndEvaluate(t, p)
+	if len(sol.Open) < 3 || len(sol.Open) > 9 {
+		t.Errorf("opened %d stations, want 3-9 (paper: 5)", len(sol.Open))
+	}
+	if cost.Total() > 70000 {
+		t.Errorf("total cost %v unreasonably high (paper: ~41795)", cost.Total())
+	}
+	// Average walk should be a small fraction of the field.
+	if avg := cost.Walking / 100; avg > 300 {
+		t.Errorf("average walk %v m too high", avg)
+	}
+}
+
+func TestSolveOfflineDeterministic(t *testing.T) {
+	rng := stats.NewRNG(8)
+	pts := stats.SamplePoints(rng, stats.UniformDist{Box: geo.Square(geo.Pt(0, 0), 500)}, 30)
+	p, err := UniformProblem(pts, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := solveAndEvaluate(t, p)
+	b, _ := solveAndEvaluate(t, p)
+	if len(a.Open) != len(b.Open) {
+		t.Fatal("non-deterministic station count")
+	}
+	for i := range a.Open {
+		if a.Open[i] != b.Open[i] {
+			t.Fatal("non-deterministic station order")
+		}
+	}
+}

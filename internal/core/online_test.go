@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/stats"
+)
+
+func uniformStream(seed uint64, n int, side float64) []geo.Point {
+	return stats.SamplePoints(stats.NewRNG(seed), stats.UniformDist{Box: geo.Square(geo.Pt(0, 0), side)}, n)
+}
+
+func TestNewMeyersonValidation(t *testing.T) {
+	if _, err := NewMeyerson(0, 1); err == nil {
+		t.Error("zero opening cost should error")
+	}
+	if _, err := NewMeyerson(-5, 1); err == nil {
+		t.Error("negative opening cost should error")
+	}
+}
+
+func TestMeyersonFirstRequestOpens(t *testing.T) {
+	m, err := NewMeyerson(1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := m.Place(geo.Pt(5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Opened || d.Walk != 0 {
+		t.Errorf("first request should open: %+v", d)
+	}
+	if len(m.Stations()) != 1 {
+		t.Errorf("stations=%d, want 1", len(m.Stations()))
+	}
+}
+
+func TestMeyersonRejectsNonFinite(t *testing.T) {
+	m, _ := NewMeyerson(1000, 1)
+	if _, err := m.Place(geo.Pt(math.NaN(), 0)); err == nil {
+		t.Error("NaN destination should error")
+	}
+}
+
+func TestMeyersonClusteredRequestsShareStations(t *testing.T) {
+	// Requests in one tight cluster with a high opening cost must mostly
+	// share the first station.
+	m, err := NewMeyerson(100000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(3)
+	dist := stats.NormalDist{Center: geo.Pt(500, 500), StdDev: 20}
+	for i := 0; i < 200; i++ {
+		if _, err := m.Place(dist.Sample(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(m.Stations()); n > 5 {
+		t.Errorf("%d stations for one tight cluster, want <= 5", n)
+	}
+}
+
+func TestMeyersonDeterministicBySeed(t *testing.T) {
+	stream := uniformStream(5, 100, 1000)
+	run := func() int {
+		m, err := NewMeyerson(5000, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range stream {
+			if _, err := m.Place(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return len(m.Stations())
+	}
+	if run() != run() {
+		t.Error("same seed produced different station counts")
+	}
+}
+
+func TestNewOnlineKMeansValidation(t *testing.T) {
+	if _, err := NewOnlineKMeans(0, 1); err == nil {
+		t.Error("target 0 should error")
+	}
+}
+
+func TestOnlineKMeansBootstrap(t *testing.T) {
+	o, err := NewOnlineKMeans(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First k+1 = 4 points all open.
+	for i := 0; i < 4; i++ {
+		d, err := o.Place(geo.Pt(float64(i*100), 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Opened {
+			t.Errorf("bootstrap point %d should open", i)
+		}
+	}
+	if len(o.Stations()) != 4 {
+		t.Errorf("stations=%d, want 4", len(o.Stations()))
+	}
+	if _, err := o.Place(geo.Pt(math.Inf(1), 0)); err == nil {
+		t.Error("non-finite destination should error")
+	}
+}
+
+func TestOnlineKMeansOpensMoreThanMeyerson(t *testing.T) {
+	// Table V ordering: online k-means opens the most stations.
+	stream := uniformStream(7, 400, 3000)
+	m, err := NewMeyerson(10000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewOnlineKMeans(16, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range stream {
+		if _, err := m.Place(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := o.Place(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(o.Stations()) <= len(m.Stations()) {
+		t.Errorf("online k-means %d stations <= meyerson %d; expected more",
+			len(o.Stations()), len(m.Stations()))
+	}
+}
+
+func TestRunStreamAccounting(t *testing.T) {
+	stream := uniformStream(9, 150, 1000)
+	m, err := NewMeyerson(5000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, decisions, err := RunStream(m, stream, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decisions) != len(stream) {
+		t.Fatalf("%d decisions for %d requests", len(decisions), len(stream))
+	}
+	opened := 0
+	var walk float64
+	for _, d := range decisions {
+		if d.Opened {
+			opened++
+			if d.Walk != 0 {
+				t.Error("opened decision should have zero walk")
+			}
+		}
+		walk += d.Walk
+	}
+	if opened != len(m.Stations()) {
+		t.Errorf("opened %d but placer has %d stations", opened, len(m.Stations()))
+	}
+	if math.Abs(cost.Opening-float64(opened)*5000) > 1e-9 {
+		t.Errorf("opening cost %v, want %v", cost.Opening, float64(opened)*5000)
+	}
+	if math.Abs(cost.Walking-walk) > 1e-9 {
+		t.Errorf("walking cost %v, want %v", cost.Walking, walk)
+	}
+}
+
+func TestNamesAreStable(t *testing.T) {
+	m, _ := NewMeyerson(1, 1)
+	o, _ := NewOnlineKMeans(1, 1)
+	if m.Name() != "meyerson" || o.Name() != "online-kmeans" {
+		t.Error("names changed; reports depend on them")
+	}
+}

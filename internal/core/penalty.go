@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// PenaltyType selects one of the paper's deviation-penalty functions
+// (Eqs. 6–8) or no penalty (pure Meyerson behaviour).
+type PenaltyType int
+
+// Penalty types.
+const (
+	// NoPenalty disables the deviation penalty: g ≡ 1.
+	NoPenalty PenaltyType = iota + 1
+	// PenaltyTypeI is the hyperbolic decay 1/(c/L + 1): modest decline,
+	// keeps probability > 0.2 beyond 3L. Best for less-similar (below
+	// 80%) live distributions.
+	PenaltyTypeI
+	// PenaltyTypeII is the linear cutoff 1 − c/L, zero beyond L: the
+	// hardest penalty. Best for very-similar (above 95%) distributions.
+	PenaltyTypeII
+	// PenaltyTypeIII is the Gaussian exp(−c²/L²): between I and II. Best
+	// for similar (80–95%) distributions.
+	PenaltyTypeIII
+)
+
+// String implements fmt.Stringer.
+func (t PenaltyType) String() string {
+	switch t {
+	case NoPenalty:
+		return "none"
+	case PenaltyTypeI:
+		return "type-I"
+	case PenaltyTypeII:
+		return "type-II"
+	case PenaltyTypeIII:
+		return "type-III"
+	default:
+		return "unknown"
+	}
+}
+
+// Penalty is a deviation-penalty function g(c) with tolerance L, mapping
+// the distance c between a requested destination and its nearest landmark
+// parking to an opening-probability multiplier in [0, 1].
+type Penalty struct {
+	Type      PenaltyType
+	Tolerance float64 // the paper's L, in metres
+}
+
+// NewPenalty validates the tolerance and returns the function.
+func NewPenalty(t PenaltyType, tolerance float64) (Penalty, error) {
+	switch t {
+	case NoPenalty, PenaltyTypeI, PenaltyTypeII, PenaltyTypeIII:
+	default:
+		return Penalty{}, fmt.Errorf("core: unknown penalty type %d", int(t))
+	}
+	if tolerance <= 0 {
+		return Penalty{}, fmt.Errorf("core: tolerance %v must be positive", tolerance)
+	}
+	return Penalty{Type: t, Tolerance: tolerance}, nil
+}
+
+// Eval returns g(c) for walking cost c ≥ 0 (negative c is clamped to 0).
+func (p Penalty) Eval(c float64) float64 {
+	if c < 0 {
+		c = 0
+	}
+	switch p.Type {
+	case PenaltyTypeI:
+		return 1 / (c/p.Tolerance + 1)
+	case PenaltyTypeII:
+		if c > p.Tolerance {
+			return 0
+		}
+		return 1 - c/p.Tolerance
+	case PenaltyTypeIII:
+		r := c / p.Tolerance
+		return math.Exp(-r * r)
+	default:
+		return 1
+	}
+}
+
+// Derivative returns dg/dc at c, the changing rate plotted in Fig. 5(b).
+func (p Penalty) Derivative(c float64) float64 {
+	if c < 0 {
+		c = 0
+	}
+	L := p.Tolerance
+	switch p.Type {
+	case PenaltyTypeI:
+		d := c/L + 1
+		return -1 / (L * d * d)
+	case PenaltyTypeII:
+		if c > L {
+			return 0
+		}
+		return -1 / L
+	case PenaltyTypeIII:
+		r := c / L
+		return -2 * c / (L * L) * math.Exp(-r*r)
+	default:
+		return 0
+	}
+}
+
+// PenaltyForBand maps a KS-test similarity band to the paper's
+// recommended penalty type (Section V-C): very similar → II, similar →
+// III, less similar → I.
+func PenaltyForBand(similarityPct float64) PenaltyType {
+	switch {
+	case similarityPct > 95:
+		return PenaltyTypeII
+	case similarityPct >= 80:
+		return PenaltyTypeIII
+	default:
+		return PenaltyTypeI
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func mustPenalty(t *testing.T, typ PenaltyType, tol float64) Penalty {
+	t.Helper()
+	p, err := NewPenalty(typ, tol)
+	if err != nil {
+		t.Fatalf("NewPenalty: %v", err)
+	}
+	return p
+}
+
+func TestNewPenaltyValidation(t *testing.T) {
+	if _, err := NewPenalty(PenaltyType(99), 100); err == nil {
+		t.Error("unknown type should error")
+	}
+	if _, err := NewPenalty(PenaltyTypeI, 0); err == nil {
+		t.Error("zero tolerance should error")
+	}
+	if _, err := NewPenalty(PenaltyTypeI, -5); err == nil {
+		t.Error("negative tolerance should error")
+	}
+}
+
+func TestPenaltyAtZero(t *testing.T) {
+	// g(0) = 1 for every type: a destination inside the grid of an
+	// established parking carries no penalty.
+	for _, typ := range []PenaltyType{NoPenalty, PenaltyTypeI, PenaltyTypeII, PenaltyTypeIII} {
+		p := mustPenalty(t, typ, 200)
+		if got := p.Eval(0); got != 1 {
+			t.Errorf("%v: g(0)=%v, want 1", typ, got)
+		}
+		if got := p.Eval(-10); got != 1 {
+			t.Errorf("%v: negative c should clamp to g(0), got %v", typ, got)
+		}
+	}
+}
+
+func TestPenaltyKnownValues(t *testing.T) {
+	const L = 200.0
+	tests := []struct {
+		typ  PenaltyType
+		c    float64
+		want float64
+	}{
+		{PenaltyTypeI, L, 0.5},
+		{PenaltyTypeI, 3 * L, 0.25}, // still > 0.2, the paper's tail claim
+		{PenaltyTypeII, L / 2, 0.5},
+		{PenaltyTypeII, L, 0},
+		{PenaltyTypeII, L + 1, 0},
+		{PenaltyTypeII, 3 * L, 0},
+		{PenaltyTypeIII, L, math.Exp(-1)},
+		{PenaltyTypeIII, 2 * L, math.Exp(-4)},
+		{NoPenalty, 1e9, 1},
+	}
+	for _, tt := range tests {
+		p := mustPenalty(t, tt.typ, L)
+		if got := p.Eval(tt.c); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("%v g(%v)=%v, want %v", tt.typ, tt.c, got, tt.want)
+		}
+	}
+}
+
+func TestPenaltyMonotoneDecreasing(t *testing.T) {
+	for _, typ := range []PenaltyType{PenaltyTypeI, PenaltyTypeII, PenaltyTypeIII} {
+		p := mustPenalty(t, typ, 200)
+		prev := p.Eval(0)
+		for c := 10.0; c <= 1000; c += 10 {
+			cur := p.Eval(c)
+			if cur > prev+1e-12 {
+				t.Errorf("%v not monotone at c=%v: %v > %v", typ, c, cur, prev)
+			}
+			if cur < 0 || cur > 1 {
+				t.Errorf("%v out of [0,1] at c=%v: %v", typ, c, cur)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestPenaltyOrderingBeyondTolerance(t *testing.T) {
+	// Fig. 5: beyond L, Type II < Type III < Type I (II plunges fastest,
+	// I keeps the fattest tail).
+	i := mustPenalty(t, PenaltyTypeI, 200)
+	ii := mustPenalty(t, PenaltyTypeII, 200)
+	iii := mustPenalty(t, PenaltyTypeIII, 200)
+	for _, c := range []float64{250, 400, 600} {
+		if !(ii.Eval(c) < iii.Eval(c) && iii.Eval(c) < i.Eval(c)) {
+			t.Errorf("at c=%v: II=%v III=%v I=%v — ordering broken",
+				c, ii.Eval(c), iii.Eval(c), i.Eval(c))
+		}
+	}
+}
+
+func TestPenaltyDerivativeMatchesNumeric(t *testing.T) {
+	const eps = 1e-6
+	for _, typ := range []PenaltyType{NoPenalty, PenaltyTypeI, PenaltyTypeIII} {
+		p := mustPenalty(t, typ, 200)
+		for _, c := range []float64{10, 100, 200, 350, 700} {
+			numeric := (p.Eval(c+eps) - p.Eval(c-eps)) / (2 * eps)
+			analytic := p.Derivative(c)
+			if math.Abs(numeric-analytic) > 1e-6*(1+math.Abs(numeric)) {
+				t.Errorf("%v at c=%v: analytic %v vs numeric %v", typ, c, analytic, numeric)
+			}
+		}
+	}
+	// Type II is non-smooth at L; check away from the kink.
+	p := mustPenalty(t, PenaltyTypeII, 200)
+	for _, c := range []float64{50, 150, 300} {
+		numeric := (p.Eval(c+eps) - p.Eval(c-eps)) / (2 * eps)
+		if math.Abs(numeric-p.Derivative(c)) > 1e-6 {
+			t.Errorf("type II at c=%v: analytic %v vs numeric %v", c, p.Derivative(c), numeric)
+		}
+	}
+}
+
+func TestPenaltyForBand(t *testing.T) {
+	tests := []struct {
+		sim  float64
+		want PenaltyType
+	}{
+		{99, PenaltyTypeII},
+		{95.5, PenaltyTypeII},
+		{95, PenaltyTypeIII},
+		{85, PenaltyTypeIII},
+		{80, PenaltyTypeIII},
+		{79, PenaltyTypeI},
+		{30, PenaltyTypeI},
+	}
+	for _, tt := range tests {
+		if got := PenaltyForBand(tt.sim); got != tt.want {
+			t.Errorf("PenaltyForBand(%v)=%v, want %v", tt.sim, got, tt.want)
+		}
+	}
+}
+
+func TestPenaltyTypeString(t *testing.T) {
+	if PenaltyTypeI.String() != "type-I" || PenaltyType(0).String() != "unknown" {
+		t.Error("PenaltyType.String wrong")
+	}
+}

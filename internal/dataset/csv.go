@@ -1,0 +1,125 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// The Mobike Big Data Challenge CSV schema:
+//
+//	orderid,userid,bikeid,biketype,starttime,geohashed_start_loc,geohashed_end_loc
+//
+// starttime is formatted "2017-05-10 13:14:15". This codec round-trips
+// that schema exactly so the real dataset can be dropped in when
+// available.
+
+// csvHeader is the canonical column list.
+var csvHeader = []string{
+	"orderid", "userid", "bikeid", "biketype", "starttime",
+	"geohashed_start_loc", "geohashed_end_loc",
+}
+
+const csvTimeLayout = "2006-01-02 15:04:05"
+
+// ErrBadHeader is returned when a CSV stream does not begin with the
+// Mobike schema header.
+var ErrBadHeader = errors.New("dataset: unexpected CSV header")
+
+// WriteCSV writes trips in the Mobike schema.
+func WriteCSV(w io.Writer, trips []Trip) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("write header: %w", err)
+	}
+	rec := make([]string, len(csvHeader))
+	for _, t := range trips {
+		rec[0] = strconv.FormatInt(t.OrderID, 10)
+		rec[1] = strconv.FormatInt(t.UserID, 10)
+		rec[2] = strconv.FormatInt(t.BikeID, 10)
+		rec[3] = strconv.Itoa(t.BikeType)
+		rec[4] = t.StartTime.Format(csvTimeLayout)
+		rec[5] = t.StartGeohash
+		rec[6] = t.EndGeohash
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("write trip %d: %w", t.OrderID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses trips in the Mobike schema, projecting geohash centres
+// into the plane of projector. A nil projector leaves planar coordinates
+// zero.
+func ReadCSV(r io.Reader, projector *geo.Projector) ([]Trip, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("read header: %w", err)
+	}
+	for i, want := range csvHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("%w: column %d is %q, want %q", ErrBadHeader, i, header[i], want)
+		}
+	}
+	var trips []Trip
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("read line %d: %w", line, err)
+		}
+		line++
+		t, err := parseTrip(rec, projector)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		trips = append(trips, t)
+	}
+	return trips, nil
+}
+
+func parseTrip(rec []string, projector *geo.Projector) (Trip, error) {
+	var t Trip
+	var err error
+	if t.OrderID, err = strconv.ParseInt(rec[0], 10, 64); err != nil {
+		return Trip{}, fmt.Errorf("orderid: %w", err)
+	}
+	if t.UserID, err = strconv.ParseInt(rec[1], 10, 64); err != nil {
+		return Trip{}, fmt.Errorf("userid: %w", err)
+	}
+	if t.BikeID, err = strconv.ParseInt(rec[2], 10, 64); err != nil {
+		return Trip{}, fmt.Errorf("bikeid: %w", err)
+	}
+	if t.BikeType, err = strconv.Atoi(rec[3]); err != nil {
+		return Trip{}, fmt.Errorf("biketype: %w", err)
+	}
+	if t.StartTime, err = time.Parse(csvTimeLayout, rec[4]); err != nil {
+		return Trip{}, fmt.Errorf("starttime: %w", err)
+	}
+	t.StartGeohash = rec[5]
+	t.EndGeohash = rec[6]
+	if projector != nil {
+		start, _, _, err := geo.DecodeGeohash(t.StartGeohash)
+		if err != nil {
+			return Trip{}, fmt.Errorf("start geohash: %w", err)
+		}
+		end, _, _, err := geo.DecodeGeohash(t.EndGeohash)
+		if err != nil {
+			return Trip{}, fmt.Errorf("end geohash: %w", err)
+		}
+		t.Start = projector.ToPlane(start)
+		t.End = projector.ToPlane(end)
+	}
+	return t, nil
+}

@@ -1,0 +1,35 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// FuzzReadCSV ensures the trip parser never panics on arbitrary input and
+// only returns trips it can fully validate structurally.
+func FuzzReadCSV(f *testing.F) {
+	header := strings.Join(csvHeader, ",")
+	f.Add(header + "\n1,2,3,1,2017-05-10 08:30:00,wx4g0bm,wx4g0bn\n")
+	f.Add(header + "\n")
+	f.Add("not,a,header\n")
+	f.Add(header + "\nx,y,z\n")
+	f.Add(header + "\n1,2,3,1,2017-05-10 08:30:00,IIII,wx4\n")
+	f.Add("")
+	projector := geo.NewProjector(geo.LatLng{Lat: 39.9, Lng: 116.4})
+	f.Fuzz(func(t *testing.T, input string) {
+		trips, err := ReadCSV(strings.NewReader(input), projector)
+		if err != nil {
+			return
+		}
+		for _, tr := range trips {
+			if tr.StartTime.IsZero() {
+				t.Fatal("accepted trip with zero time")
+			}
+			if len(tr.StartGeohash) == 0 || len(tr.EndGeohash) == 0 {
+				t.Fatal("accepted trip with empty geohash")
+			}
+		}
+	})
+}

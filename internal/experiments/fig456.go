@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/stats"
+)
+
+// Fig4Config parameterises the offline-vs-Meyerson example (Fig. 4):
+// a stream of uniform arrivals in a square field.
+type Fig4Config struct {
+	Requests    int
+	FieldSide   float64
+	OpeningCost float64
+	Seed        uint64
+}
+
+// DefaultFig4Config mirrors the paper: 100 arrivals in 1000×1000 m²;
+// opening cost 5000 m reproduces the reported space cost of 25000 for 5
+// stations.
+func DefaultFig4Config() Fig4Config {
+	return Fig4Config{Requests: 100, FieldSide: 1000, OpeningCost: 5000, Seed: 4}
+}
+
+// AlgoCost is one algorithm's Fig. 4/6 outcome.
+type AlgoCost struct {
+	Name     string  `json:"name"`
+	Stations int     `json:"stations"`
+	Walking  float64 `json:"walking"`
+	Opening  float64 `json:"opening"`
+}
+
+// Total returns walking + opening.
+func (a AlgoCost) Total() float64 { return a.Walking + a.Opening }
+
+// Fig4Result compares the offline 1.61-factor solution against Meyerson's
+// online algorithm on the same stream.
+type Fig4Result struct {
+	Offline  AlgoCost `json:"offline"`
+	Meyerson AlgoCost `json:"meyerson"`
+	// IncreasePct is Meyerson's total-cost increase over offline
+	// (paper: 56%).
+	IncreasePct float64 `json:"increasePct"`
+}
+
+// RunFig4 regenerates Fig. 4.
+func RunFig4(cfg Fig4Config) (*Fig4Result, error) {
+	if cfg.Requests < 1 || cfg.FieldSide <= 0 || cfg.OpeningCost <= 0 {
+		return nil, fmt.Errorf("experiments: invalid fig4 config %+v", cfg)
+	}
+	field := stats.UniformDist{Box: geo.Square(geo.Pt(0, 0), cfg.FieldSide)}
+	streamPts := sampleField(cfg.Seed, field, cfg.Requests)
+
+	// Offline: solve on the full stream (future known).
+	problem, err := core.UniformProblem(streamPts, cfg.OpeningCost)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := core.SolveOffline(problem)
+	if err != nil {
+		return nil, err
+	}
+	offCost, err := problem.Evaluate(sol)
+	if err != nil {
+		return nil, err
+	}
+
+	// Online: Meyerson over the same stream.
+	mey, err := core.NewMeyerson(cfg.OpeningCost, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	meyCost, _, err := core.RunStream(mey, streamPts, cfg.OpeningCost)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig4Result{
+		Offline: AlgoCost{
+			Name: "offline-1.61", Stations: len(sol.Open),
+			Walking: offCost.Walking, Opening: offCost.Opening,
+		},
+		Meyerson: AlgoCost{
+			Name: "meyerson", Stations: len(mey.Stations()),
+			Walking: meyCost.Walking, Opening: meyCost.Opening,
+		},
+	}
+	res.IncreasePct = 100 * (res.Meyerson.Total() - res.Offline.Total()) / res.Offline.Total()
+	return res, nil
+}
+
+// Render writes the Fig. 4 comparison.
+func (r *Fig4Result) Render(w io.Writer) {
+	fprintf(w, "Fig. 4 — offline vs Meyerson online (uniform arrivals)\n")
+	rule(w, 64)
+	fprintf(w, "%-14s %9s %12s %12s %12s\n", "algorithm", "#parking", "walking", "space", "total")
+	for _, a := range []AlgoCost{r.Offline, r.Meyerson} {
+		fprintf(w, "%-14s %9d %12.0f %12.0f %12.0f\n", a.Name, a.Stations, a.Walking, a.Opening, a.Total())
+	}
+	fprintf(w, "online cost increase vs offline: %.0f%% (paper: 56%%)\n", r.IncreasePct)
+}
+
+// Fig5Config parameterises the penalty-curve figure.
+type Fig5Config struct {
+	Tolerance float64
+	MaxCost   float64
+	Steps     int
+}
+
+// DefaultFig5Config uses the paper's L = 200 m.
+func DefaultFig5Config() Fig5Config {
+	return Fig5Config{Tolerance: 200, MaxCost: 800, Steps: 17}
+}
+
+// Fig5Point is one sample of every penalty curve at walking cost C.
+type Fig5Point struct {
+	C        float64 `json:"c"`
+	TypeI    float64 `json:"typeI"`
+	TypeII   float64 `json:"typeII"`
+	TypeIII  float64 `json:"typeIII"`
+	DTypeI   float64 `json:"dTypeI"`
+	DTypeII  float64 `json:"dTypeII"`
+	DTypeIII float64 `json:"dTypeIII"`
+}
+
+// Fig5Result holds the sampled curves of Fig. 5(a) (values) and 5(b)
+// (first derivatives).
+type Fig5Result struct {
+	Tolerance float64     `json:"tolerance"`
+	Points    []Fig5Point `json:"points"`
+}
+
+// RunFig5 regenerates Fig. 5.
+func RunFig5(cfg Fig5Config) (*Fig5Result, error) {
+	if cfg.Tolerance <= 0 || cfg.MaxCost <= 0 || cfg.Steps < 2 {
+		return nil, fmt.Errorf("experiments: invalid fig5 config %+v", cfg)
+	}
+	pI, err := core.NewPenalty(core.PenaltyTypeI, cfg.Tolerance)
+	if err != nil {
+		return nil, err
+	}
+	pII, err := core.NewPenalty(core.PenaltyTypeII, cfg.Tolerance)
+	if err != nil {
+		return nil, err
+	}
+	pIII, err := core.NewPenalty(core.PenaltyTypeIII, cfg.Tolerance)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{Tolerance: cfg.Tolerance}
+	for s := 0; s < cfg.Steps; s++ {
+		c := cfg.MaxCost * float64(s) / float64(cfg.Steps-1)
+		res.Points = append(res.Points, Fig5Point{
+			C:        c,
+			TypeI:    pI.Eval(c),
+			TypeII:   pII.Eval(c),
+			TypeIII:  pIII.Eval(c),
+			DTypeI:   pI.Derivative(c),
+			DTypeII:  pII.Derivative(c),
+			DTypeIII: pIII.Derivative(c),
+		})
+	}
+	return res, nil
+}
+
+// Render writes the Fig. 5 curves as a table.
+func (r *Fig5Result) Render(w io.Writer) {
+	fprintf(w, "Fig. 5 — penalty functions g(c) and derivatives (L = %.0f m)\n", r.Tolerance)
+	rule(w, 76)
+	fprintf(w, "%8s %8s %8s %8s | %10s %10s %10s\n",
+		"c", "typeI", "typeII", "typeIII", "dI/dc", "dII/dc", "dIII/dc")
+	for _, p := range r.Points {
+		fprintf(w, "%8.0f %8.3f %8.3f %8.3f | %10.5f %10.5f %10.5f\n",
+			p.C, p.TypeI, p.TypeII, p.TypeIII, p.DTypeI, p.DTypeII, p.DTypeIII)
+	}
+}
+
+// Fig6Config parameterises the proposed-algorithm example.
+type Fig6Config struct {
+	Fig4 Fig4Config
+	// SurgeRequests are extra arrivals drawn from an unknown cluster for
+	// the Fig. 6(b) panel.
+	SurgeRequests int
+}
+
+// DefaultFig6Config mirrors Fig. 6.
+func DefaultFig6Config() Fig6Config {
+	return Fig6Config{Fig4: DefaultFig4Config(), SurgeRequests: 80}
+}
+
+// Fig6Result compares E-sharing against Meyerson on the Fig. 4 stream and
+// reports its reaction to an unknown-distribution surge.
+type Fig6Result struct {
+	ESharing     AlgoCost `json:"eSharing"`
+	Meyerson     AlgoCost `json:"meyerson"`
+	Offline      AlgoCost `json:"offline"`
+	ReductionPct float64  `json:"reductionPct"`
+	// SurgeNewStations counts stations opened while serving the
+	// out-of-distribution surge (Fig. 6(b): 3 more stations).
+	SurgeNewStations int `json:"surgeNewStations"`
+}
+
+// RunFig6 regenerates Fig. 6: the deviation-penalty algorithm on the same
+// stream as Fig. 4 (panel a) and its response to arrivals from an unknown
+// distribution (panel b).
+func RunFig6(cfg Fig6Config) (*Fig6Result, error) {
+	fig4, err := RunFig4(cfg.Fig4)
+	if err != nil {
+		return nil, err
+	}
+	field := stats.UniformDist{Box: geo.Square(geo.Pt(0, 0), cfg.Fig4.FieldSide)}
+	streamPts := sampleField(cfg.Fig4.Seed, field, cfg.Fig4.Requests)
+
+	// The offline solution on the historical half guides the online run
+	// over the full stream.
+	half := streamPts[:len(streamPts)/2]
+	landmarks, _, err := solveOfflineOn(half, 100, cfg.Fig4.OpeningCost)
+	if err != nil {
+		return nil, err
+	}
+	esCfg := core.DefaultESharingConfig()
+	esCfg.Seed = cfg.Fig4.Seed + 2
+	esCfg.TestEvery = 20
+	esCfg.WindowSize = 30
+	es, err := core.NewESharing(landmarks, cfg.Fig4.OpeningCost, half, esCfg)
+	if err != nil {
+		return nil, err
+	}
+	esCost, _, err := core.RunStream(es, streamPts, cfg.Fig4.OpeningCost)
+	if err != nil {
+		return nil, err
+	}
+	// Landmark stations count toward space occupation (Fig. 6 counts all
+	// 7 = 5 offline + 2 online).
+	esCost.Opening += float64(len(landmarks)) * cfg.Fig4.OpeningCost
+
+	res := &Fig6Result{
+		Offline:  fig4.Offline,
+		Meyerson: fig4.Meyerson,
+		ESharing: AlgoCost{
+			Name: "e-sharing", Stations: len(es.Stations()),
+			Walking: esCost.Walking, Opening: esCost.Opening,
+		},
+	}
+	res.ReductionPct = 100 * (res.Meyerson.Total() - res.ESharing.Total()) / res.Meyerson.Total()
+
+	// Panel (b): arrivals from an unknown cluster outside the field.
+	surge := stats.NormalDist{
+		Center: geo.Pt(cfg.Fig4.FieldSide*1.4, cfg.Fig4.FieldSide*1.4),
+		StdDev: cfg.Fig4.FieldSide * 0.12,
+	}
+	before := len(es.Stations())
+	for _, p := range sampleField(cfg.Fig4.Seed+3, surge, cfg.SurgeRequests) {
+		if _, err := es.Place(p); err != nil {
+			return nil, err
+		}
+	}
+	res.SurgeNewStations = len(es.Stations()) - before
+	return res, nil
+}
+
+// Render writes the Fig. 6 comparison.
+func (r *Fig6Result) Render(w io.Writer) {
+	fprintf(w, "Fig. 6 — online algorithm with deviation penalty\n")
+	rule(w, 64)
+	fprintf(w, "%-14s %9s %12s %12s %12s\n", "algorithm", "#parking", "walking", "space", "total")
+	for _, a := range []AlgoCost{r.Offline, r.ESharing, r.Meyerson} {
+		fprintf(w, "%-14s %9d %12.0f %12.0f %12.0f\n", a.Name, a.Stations, a.Walking, a.Opening, a.Total())
+	}
+	fprintf(w, "E-sharing total-cost reduction vs Meyerson: %.0f%% (paper: 23%%)\n", r.ReductionPct)
+	fprintf(w, "stations opened for unknown-distribution surge: %d (paper: 3)\n", r.SurgeNewStations)
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/incentive"
+)
+
+// Fig7Config parameterises the analytic saving-ratio study (Eq. 11).
+type Fig7Config struct {
+	Params incentive.CostParams
+	// N values for panel (a); m sweeps 1..n for each.
+	NValues []int
+	// Panel (b): fixed n with q and d sweeps for several m.
+	PanelBN  int
+	PanelBMs []int
+	QValues  []float64
+	DValues  []float64
+}
+
+// DefaultFig7Config mirrors the paper's panels.
+func DefaultFig7Config() Fig7Config {
+	return Fig7Config{
+		Params:   incentive.DefaultCostParams(),
+		NValues:  []int{10, 20, 30, 40, 50},
+		PanelBN:  30,
+		PanelBMs: []int{5, 10, 15, 20},
+		QValues:  []float64{1, 2, 5, 10, 20},
+		DValues:  []float64{0.5, 1, 2, 5, 10},
+	}
+}
+
+// Fig7PointA is one (m, n) saving sample.
+type Fig7PointA struct {
+	M      int     `json:"m"`
+	N      int     `json:"n"`
+	Saving float64 `json:"saving"`
+}
+
+// Fig7PointB is one (q, d, m) saving sample at the fixed panel-B n.
+type Fig7PointB struct {
+	Q      float64 `json:"q"`
+	D      float64 `json:"d"`
+	M      int     `json:"m"`
+	Saving float64 `json:"saving"`
+}
+
+// Fig7Result holds both panels.
+type Fig7Result struct {
+	PanelA []Fig7PointA `json:"panelA"`
+	PanelB []Fig7PointB `json:"panelB"`
+	// SavingAt65Pct is the saving at m/n = 0.65 (paper: ~50% with delay-
+	// dominated costs).
+	SavingAt65Pct float64 `json:"savingAt65Pct"`
+}
+
+// RunFig7 regenerates Fig. 7 from Eq. 11.
+func RunFig7(cfg Fig7Config) (*Fig7Result, error) {
+	if len(cfg.NValues) == 0 || cfg.PanelBN < 1 {
+		return nil, fmt.Errorf("experiments: invalid fig7 config %+v", cfg)
+	}
+	res := &Fig7Result{}
+	for _, n := range cfg.NValues {
+		for m := 1; m <= n; m++ {
+			s, err := incentive.SavingRatio(cfg.Params, m, n)
+			if err != nil {
+				return nil, err
+			}
+			res.PanelA = append(res.PanelA, Fig7PointA{M: m, N: n, Saving: s})
+		}
+	}
+	for _, m := range cfg.PanelBMs {
+		if m > cfg.PanelBN {
+			return nil, fmt.Errorf("experiments: panel-B m=%d exceeds n=%d", m, cfg.PanelBN)
+		}
+		for _, q := range cfg.QValues {
+			for _, d := range cfg.DValues {
+				p := cfg.Params
+				p.ServicePerStop = q
+				p.DelayUnit = d
+				s, err := incentive.SavingRatio(p, m, cfg.PanelBN)
+				if err != nil {
+					return nil, err
+				}
+				res.PanelB = append(res.PanelB, Fig7PointB{Q: q, D: d, M: m, Saving: s})
+			}
+		}
+	}
+	// Paper's calibration point: m/n = 0.65 under delay-dominated costs.
+	delayHeavy := cfg.Params
+	delayHeavy.DelayUnit = 10 * delayHeavy.ServicePerStop
+	n := 40
+	m := 26
+	s, err := incentive.SavingRatio(delayHeavy, m, n)
+	if err != nil {
+		return nil, err
+	}
+	res.SavingAt65Pct = s
+	return res, nil
+}
+
+// Render writes a condensed view of both panels.
+func (r *Fig7Result) Render(w io.Writer) {
+	fprintf(w, "Fig. 7 — aggregation saving ratio (Eq. 11)\n")
+	rule(w, 60)
+	fprintf(w, "panel (a): saving vs m for each n (sampled at m = n, 3n/4, n/2, n/4, 1)\n")
+	byN := map[int][]Fig7PointA{}
+	var ns []int
+	for _, p := range r.PanelA {
+		if _, ok := byN[p.N]; !ok {
+			ns = append(ns, p.N)
+		}
+		byN[p.N] = append(byN[p.N], p)
+	}
+	for _, n := range ns {
+		pts := byN[n]
+		fprintf(w, "  n=%2d:", n)
+		for _, m := range []int{n, 3 * n / 4, n / 2, n / 4, 1} {
+			if m < 1 {
+				m = 1
+			}
+			fprintf(w, "  m=%2d→%4.0f%%", m, 100*pts[m-1].Saving)
+		}
+		fprintf(w, "\n")
+	}
+	fprintf(w, "saving at m/n = 0.65 with delay-heavy costs: %.0f%% (paper: ~50%%)\n",
+		100*r.SavingAt65Pct)
+	fprintf(w, "panel (b): saving vs (q, d) per m (n fixed)\n")
+	cur := -1
+	for _, p := range r.PanelB {
+		if p.M != cur {
+			cur = p.M
+			fprintf(w, "  m=%d:\n", p.M)
+		}
+		fprintf(w, "    q=%5.1f d=%5.1f → %5.1f%%\n", p.Q, p.D, 100*p.Saving)
+	}
+}

@@ -1,0 +1,226 @@
+package forecast
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// ARIMA implements an ARIMA(p, d, q) forecaster (Table II's "ARIMA"
+// baseline with lag order p and degree of differencing d).
+//
+// Fitting differences the series d times and then estimates the ARMA(p, q)
+// coefficients with the Hannan–Rissanen two-stage procedure:
+//
+//  1. fit a long autoregression by ordinary least squares to estimate the
+//     innovation sequence;
+//  2. regress the series on its own p lags and the q lagged innovation
+//     estimates, again by OLS (Gaussian elimination on the normal
+//     equations).
+//
+// The procedure is deterministic — no iterative likelihood optimisation —
+// which keeps the experiment tables reproducible bit-for-bit.
+type ARIMA struct {
+	P, D, Q int
+
+	fitted    bool
+	intercept float64
+	arCoef    []float64 // phi_1..phi_p
+	maCoef    []float64 // theta_1..theta_q
+}
+
+var _ Forecaster = (*ARIMA)(nil)
+
+// NewARIMA validates the order and returns the model.
+func NewARIMA(p, d, q int) (*ARIMA, error) {
+	if p < 0 || d < 0 || q < 0 {
+		return nil, fmt.Errorf("forecast: ARIMA order (%d,%d,%d) must be non-negative", p, d, q)
+	}
+	if p == 0 && q == 0 {
+		return nil, fmt.Errorf("forecast: ARIMA(%d,%d,%d) has no ARMA terms", p, d, q)
+	}
+	return &ARIMA{P: p, D: d, Q: q}, nil
+}
+
+// Fit implements Forecaster.
+func (a *ARIMA) Fit(series []float64) error {
+	diffed, _, err := Difference(series, a.D)
+	if err != nil {
+		return fmt.Errorf("arima fit: %w", err)
+	}
+	minLen := a.P + a.Q + 10
+	if len(diffed) < minLen {
+		return fmt.Errorf("%w: %d differenced points, need %d", ErrSeriesTooShort, len(diffed), minLen)
+	}
+
+	resid := make([]float64, len(diffed))
+	if a.Q > 0 {
+		// Stage 1: long AR to estimate innovations.
+		longP := a.P + a.Q + 2
+		if longP*3 > len(diffed) {
+			longP = len(diffed) / 3
+		}
+		if longP < 1 {
+			longP = 1
+		}
+		inter, phi, err := fitARLeastSquares(diffed, longP)
+		if err != nil {
+			return fmt.Errorf("arima stage 1: %w", err)
+		}
+		for t := longP; t < len(diffed); t++ {
+			pred := inter
+			for k := 0; k < longP; k++ {
+				pred += phi[k] * diffed[t-1-k]
+			}
+			resid[t] = diffed[t] - pred
+		}
+	}
+
+	// Stage 2: regress on p lags of the series and q lags of residuals.
+	start := a.P
+	if a.Q > 0 {
+		if qs := a.P + a.Q + 2 + a.Q; qs > start {
+			start = qs
+		}
+	}
+	rows := len(diffed) - start
+	cols := 1 + a.P + a.Q
+	if rows < cols {
+		return fmt.Errorf("%w: %d regression rows for %d coefficients", ErrSeriesTooShort, rows, cols)
+	}
+	x := matrix.New(rows, cols)
+	y := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		t := start + r
+		x.Set(r, 0, 1)
+		for k := 0; k < a.P; k++ {
+			x.Set(r, 1+k, diffed[t-1-k])
+		}
+		for k := 0; k < a.Q; k++ {
+			x.Set(r, 1+a.P+k, resid[t-1-k])
+		}
+		y[r] = diffed[t]
+	}
+	coef, err := olsSolve(x, y)
+	if err != nil {
+		return fmt.Errorf("arima stage 2: %w", err)
+	}
+	a.intercept = coef[0]
+	a.arCoef = append([]float64(nil), coef[1:1+a.P]...)
+	a.maCoef = append([]float64(nil), coef[1+a.P:]...)
+	a.fitted = true
+	return nil
+}
+
+// Forecast implements Forecaster.
+func (a *ARIMA) Forecast(history []float64, steps int) ([]float64, error) {
+	if !a.fitted {
+		return nil, ErrNotFitted
+	}
+	if steps < 1 {
+		return nil, fmt.Errorf("forecast: steps %d < 1", steps)
+	}
+	diffed, _, err := Difference(history, a.D)
+	if err != nil {
+		return nil, fmt.Errorf("arima forecast: %w", err)
+	}
+	if len(diffed) < a.P {
+		return nil, fmt.Errorf("%w: %d differenced points for p=%d", ErrSeriesTooShort, len(diffed), a.P)
+	}
+
+	// Reconstruct in-sample residuals on the differenced history so the
+	// MA terms have fuel for the first forecast steps.
+	resid := make([]float64, len(diffed))
+	for t := a.P; t < len(diffed); t++ {
+		pred := a.intercept
+		for k := 0; k < a.P; k++ {
+			pred += a.arCoef[k] * diffed[t-1-k]
+		}
+		for k := 0; k < a.Q; k++ {
+			if t-1-k >= 0 {
+				pred += a.maCoef[k] * resid[t-1-k]
+			}
+		}
+		resid[t] = diffed[t] - pred
+	}
+
+	extended := append([]float64(nil), diffed...)
+	futureResid := append([]float64(nil), resid...)
+	preds := make([]float64, steps)
+	for s := 0; s < steps; s++ {
+		t := len(extended)
+		pred := a.intercept
+		for k := 0; k < a.P; k++ {
+			if t-1-k >= 0 {
+				pred += a.arCoef[k] * extended[t-1-k]
+			}
+		}
+		for k := 0; k < a.Q; k++ {
+			if t-1-k >= 0 && t-1-k < len(futureResid) {
+				pred += a.maCoef[k] * futureResid[t-1-k]
+			}
+		}
+		preds[s] = pred
+		extended = append(extended, pred)
+		futureResid = append(futureResid, 0) // future innovations have mean 0
+	}
+
+	last, err := LastAtLevels(history, a.D)
+	if err != nil {
+		return nil, fmt.Errorf("arima integrate: %w", err)
+	}
+	return Integrate(preds, last), nil
+}
+
+// Name implements Forecaster.
+func (a *ARIMA) Name() string { return fmt.Sprintf("arima-p%d-d%d-q%d", a.P, a.D, a.Q) }
+
+// fitARLeastSquares fits y_t = c + sum phi_k y_{t-k} + e_t by OLS.
+func fitARLeastSquares(series []float64, p int) (intercept float64, phi []float64, err error) {
+	rows := len(series) - p
+	cols := p + 1
+	if rows < cols {
+		return 0, nil, fmt.Errorf("%w: %d rows for AR(%d)", ErrSeriesTooShort, rows, p)
+	}
+	x := matrix.New(rows, cols)
+	y := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		t := p + r
+		x.Set(r, 0, 1)
+		for k := 0; k < p; k++ {
+			x.Set(r, 1+k, series[t-1-k])
+		}
+		y[r] = series[t]
+	}
+	coef, err := olsSolve(x, y)
+	if err != nil {
+		return 0, nil, err
+	}
+	return coef[0], coef[1:], nil
+}
+
+// olsSolve solves min ||X·beta - y||² via the normal equations
+// XᵀX·beta = Xᵀy with a small ridge term for numerical stability.
+func olsSolve(x *matrix.Matrix, y []float64) ([]float64, error) {
+	cols := x.Cols
+	xtx := matrix.New(cols, cols)
+	matrix.MulATB(xtx, x, x)
+	// Ridge regularisation: keeps near-collinear designs (e.g. constant
+	// series) solvable without visibly biasing the fit.
+	const ridge = 1e-8
+	for i := 0; i < cols; i++ {
+		xtx.Set(i, i, xtx.At(i, i)+ridge)
+	}
+	xty := make([]float64, cols)
+	for r := 0; r < x.Rows; r++ {
+		yr := y[r]
+		for c := 0; c < cols; c++ {
+			xty[c] += x.At(r, c) * yr
+		}
+	}
+	beta, err := matrix.SolveLinear(xtx, xty)
+	if err != nil {
+		return nil, fmt.Errorf("ols: %w", err)
+	}
+	return beta, nil
+}

@@ -1,0 +1,114 @@
+// Package forecast implements the prediction engine of E-Sharing
+// (Section V-A): an LSTM sequence model trained with truncated BPTT and
+// Adam, plus the Moving-Average and ARIMA statistical baselines it is
+// compared against in Table II. All models implement the Forecaster
+// interface and are evaluated with walk-forward one-step predictions.
+package forecast
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Forecaster is a univariate time-series model. Fit trains on a historical
+// series; Forecast extends a (possibly different) history by the requested
+// number of steps.
+type Forecaster interface {
+	// Fit trains the model on series. It must be called before Forecast.
+	Fit(series []float64) error
+	// Forecast predicts the next steps values following history.
+	Forecast(history []float64, steps int) ([]float64, error)
+	// Name identifies the model in reports (e.g. "lstm-2x128").
+	Name() string
+}
+
+// Errors shared by the forecasters.
+var (
+	// ErrNotFitted is returned by Forecast before a successful Fit.
+	ErrNotFitted = errors.New("forecast: model not fitted")
+	// ErrSeriesTooShort is returned when a series cannot support the
+	// model's lag structure.
+	ErrSeriesTooShort = errors.New("forecast: series too short")
+)
+
+// Scaler standardises a series to zero mean and unit variance; neural
+// models train on scaled values and invert on output.
+type Scaler struct {
+	Mean   float64
+	StdDev float64
+}
+
+// FitScaler computes scaling parameters from series. A constant series
+// scales with StdDev 1 to avoid division by zero.
+func FitScaler(series []float64) Scaler {
+	if len(series) == 0 {
+		return Scaler{StdDev: 1}
+	}
+	var sum float64
+	for _, v := range series {
+		sum += v
+	}
+	mean := sum / float64(len(series))
+	var ss float64
+	for _, v := range series {
+		d := v - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(len(series)))
+	if sd == 0 {
+		sd = 1
+	}
+	return Scaler{Mean: mean, StdDev: sd}
+}
+
+// Transform scales a single value.
+func (s Scaler) Transform(v float64) float64 { return (v - s.Mean) / s.StdDev }
+
+// Invert undoes Transform.
+func (s Scaler) Invert(v float64) float64 { return v*s.StdDev + s.Mean }
+
+// TransformAll scales a series into a new slice.
+func (s Scaler) TransformAll(series []float64) []float64 {
+	out := make([]float64, len(series))
+	for i, v := range series {
+		out[i] = s.Transform(v)
+	}
+	return out
+}
+
+// WalkForwardRMSE evaluates a fitted model by walk-forward one-step
+// prediction over test: for each position i it forecasts test[i] from
+// train ++ test[:i] and accumulates squared error, mirroring the paper's
+// Table II protocol. horizon > 1 evaluates multi-step forecasts by scoring
+// each of the next horizon values (predictions are not refreshed within a
+// horizon block).
+func WalkForwardRMSE(m Forecaster, train, test []float64, horizon int) (float64, error) {
+	if horizon < 1 {
+		return 0, fmt.Errorf("forecast: horizon %d < 1", horizon)
+	}
+	if len(test) == 0 {
+		return 0, errors.New("forecast: empty test series")
+	}
+	history := make([]float64, len(train), len(train)+len(test))
+	copy(history, train)
+	var sumSq float64
+	var count int
+	for i := 0; i < len(test); i += horizon {
+		steps := horizon
+		if i+steps > len(test) {
+			steps = len(test) - i
+		}
+		preds, err := m.Forecast(history, steps)
+		if err != nil {
+			return 0, fmt.Errorf("walk-forward at %d: %w", i, err)
+		}
+		for j := 0; j < steps; j++ {
+			d := preds[j] - test[i+j]
+			sumSq += d * d
+			count++
+		}
+		history = append(history, test[i:i+steps]...)
+	}
+	return math.Sqrt(sumSq / float64(count)), nil
+}

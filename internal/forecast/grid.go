@@ -1,0 +1,95 @@
+package forecast
+
+import (
+	"fmt"
+)
+
+// GridForecaster predicts per-grid-cell demand over a horizon — the
+// paper's "for each grid ... it forecasts the future k steps" engine.
+// It factorises the problem the way the evaluation does: one temporal
+// model on the citywide hourly total (the hard part, handled by any
+// Forecaster — typically the LSTM) and a spatial share per cell estimated
+// from history. Cell demand over the horizon is
+//
+//	demand(cell) = share(cell) · Σ predicted hourly totals.
+//
+// The factorisation assumes the spatial mix shifts slowly relative to the
+// total volume, which Table IV's weekday similarity block justifies; the
+// deviation-penalty algorithm absorbs the residual spatial error online.
+type GridForecaster struct {
+	temporal Forecaster
+	shares   []float64
+	fitted   bool
+}
+
+// NewGridForecaster wraps a temporal model.
+func NewGridForecaster(temporal Forecaster) (*GridForecaster, error) {
+	if temporal == nil {
+		return nil, fmt.Errorf("forecast: nil temporal model")
+	}
+	return &GridForecaster{temporal: temporal}, nil
+}
+
+// FitGrid trains on the citywide hourly series and the historical
+// per-cell counts (any non-negative weights; they are normalised).
+func (g *GridForecaster) FitGrid(hourlyTotals []float64, cellCounts []float64) error {
+	if len(cellCounts) == 0 {
+		return fmt.Errorf("forecast: no cells")
+	}
+	var total float64
+	for i, c := range cellCounts {
+		if c < 0 {
+			return fmt.Errorf("forecast: cell %d has negative count %v", i, c)
+		}
+		total += c
+	}
+	if total == 0 {
+		return fmt.Errorf("forecast: all cell counts are zero")
+	}
+	if err := g.temporal.Fit(hourlyTotals); err != nil {
+		return fmt.Errorf("temporal fit: %w", err)
+	}
+	g.shares = make([]float64, len(cellCounts))
+	for i, c := range cellCounts {
+		g.shares[i] = c / total
+	}
+	g.fitted = true
+	return nil
+}
+
+// ForecastGrid predicts each cell's demand over the next `hours` hours
+// following history (the citywide hourly series). Negative hourly
+// predictions are clamped to zero before aggregation.
+func (g *GridForecaster) ForecastGrid(history []float64, hours int) ([]float64, error) {
+	if !g.fitted {
+		return nil, ErrNotFitted
+	}
+	if hours < 1 {
+		return nil, fmt.Errorf("forecast: hours %d < 1", hours)
+	}
+	preds, err := g.temporal.Forecast(history, hours)
+	if err != nil {
+		return nil, fmt.Errorf("temporal forecast: %w", err)
+	}
+	var volume float64
+	for _, v := range preds {
+		if v > 0 {
+			volume += v
+		}
+	}
+	out := make([]float64, len(g.shares))
+	for i, s := range g.shares {
+		out[i] = s * volume
+	}
+	return out, nil
+}
+
+// Shares returns the fitted spatial distribution (sums to 1).
+func (g *GridForecaster) Shares() []float64 {
+	return append([]float64(nil), g.shares...)
+}
+
+// Name implements a Forecaster-style identity.
+func (g *GridForecaster) Name() string {
+	return "grid(" + g.temporal.Name() + ")"
+}

@@ -1,0 +1,122 @@
+package forecast
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNewGridForecasterValidation(t *testing.T) {
+	if _, err := NewGridForecaster(nil); err == nil {
+		t.Error("nil temporal model should error")
+	}
+}
+
+func TestGridForecasterFitValidation(t *testing.T) {
+	ma, err := NewMovingAverage(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGridForecaster(ma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := []float64{10, 12, 11, 13}
+	tests := []struct {
+		name   string
+		totals []float64
+		counts []float64
+	}{
+		{"no cells", series, nil},
+		{"negative count", series, []float64{1, -1}},
+		{"all zero", series, []float64{0, 0}},
+		{"temporal too short", []float64{1}, []float64{1, 2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := g.FitGrid(tt.totals, tt.counts); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+	if _, err := g.ForecastGrid(series, 2); !errors.Is(err, ErrNotFitted) {
+		t.Errorf("unfitted: %v", err)
+	}
+}
+
+func TestGridForecasterSplitsVolumeByShares(t *testing.T) {
+	// A constant series and MA(1): predicted volume over h hours is
+	// h x level; cells split it by share.
+	ma, err := NewMovingAverage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGridForecaster(ma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := []float64{10, 10, 10, 10}
+	if err := g.FitGrid(series, []float64{30, 10}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.ForecastGrid(series, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Volume = 40; shares 0.75 / 0.25.
+	if math.Abs(got[0]-30) > 1e-9 || math.Abs(got[1]-10) > 1e-9 {
+		t.Errorf("got %v, want [30 10]", got)
+	}
+	shares := g.Shares()
+	if math.Abs(shares[0]-0.75) > 1e-12 {
+		t.Errorf("shares=%v", shares)
+	}
+	if g.Name() != "grid(ma-wz1)" {
+		t.Errorf("Name=%q", g.Name())
+	}
+	if _, err := g.ForecastGrid(series, 0); err == nil {
+		t.Error("hours 0 should error")
+	}
+}
+
+func TestGridForecasterClampsNegativePredictions(t *testing.T) {
+	// A strong downward trend makes ARIMA predict below zero; the grid
+	// volume must clamp those hours instead of producing negative demand.
+	series := make([]float64, 60)
+	for i := range series {
+		series[i] = 100 - 2*float64(i)
+	}
+	ar, err := NewARIMA(1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGridForecaster(ar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.FitGrid(series, []float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.ForecastGrid(series, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v < 0 {
+			t.Errorf("cell %d demand %v < 0", i, v)
+		}
+	}
+}
+
+func TestGridForecasterSharesAreCopied(t *testing.T) {
+	ma, _ := NewMovingAverage(1)
+	g, _ := NewGridForecaster(ma)
+	if err := g.FitGrid([]float64{5, 5}, []float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	s := g.Shares()
+	s[0] = 99
+	if g.Shares()[0] == 99 {
+		t.Error("Shares exposes internal slice")
+	}
+}

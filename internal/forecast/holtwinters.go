@@ -1,0 +1,141 @@
+package forecast
+
+import (
+	"fmt"
+	"math"
+)
+
+// HoltWinters is additive triple exponential smoothing: level, trend and
+// a seasonal component of the given period. Smoothing parameters are
+// selected by grid search over the in-sample one-step squared error — a
+// classical statistical competitor between the paper's MA/ARIMA baselines
+// and the LSTM.
+type HoltWinters struct {
+	Period int
+	// GridSteps controls the parameter search resolution (default 5 when
+	// zero: {0.05, 0.275, 0.5, 0.725, 0.95}).
+	GridSteps int
+
+	alpha, beta, gamma float64
+	fitted             bool
+}
+
+var _ Forecaster = (*HoltWinters)(nil)
+
+// NewHoltWinters validates the seasonal period.
+func NewHoltWinters(period int) (*HoltWinters, error) {
+	if period < 2 {
+		return nil, fmt.Errorf("forecast: holt-winters period %d < 2", period)
+	}
+	return &HoltWinters{Period: period}, nil
+}
+
+// Fit selects (alpha, beta, gamma) by grid search.
+func (h *HoltWinters) Fit(series []float64) error {
+	if len(series) < 2*h.Period+2 {
+		return fmt.Errorf("%w: %d points, need %d for period %d",
+			ErrSeriesTooShort, len(series), 2*h.Period+2, h.Period)
+	}
+	steps := h.GridSteps
+	if steps <= 0 {
+		steps = 5
+	}
+	grid := make([]float64, steps)
+	for i := range grid {
+		grid[i] = 0.05 + 0.9*float64(i)/float64(steps-1)
+	}
+	best := math.Inf(1)
+	for _, a := range grid {
+		for _, b := range grid {
+			for _, g := range grid {
+				sse := h.sse(series, a, b, g)
+				if sse < best {
+					best = sse
+					h.alpha, h.beta, h.gamma = a, b, g
+				}
+			}
+		}
+	}
+	if math.IsInf(best, 1) {
+		return fmt.Errorf("forecast: holt-winters grid search failed")
+	}
+	h.fitted = true
+	return nil
+}
+
+// Params returns the selected smoothing parameters.
+func (h *HoltWinters) Params() (alpha, beta, gamma float64) {
+	return h.alpha, h.beta, h.gamma
+}
+
+// sse runs the smoother over series and accumulates one-step squared
+// errors after the first two seasons.
+func (h *HoltWinters) sse(series []float64, alpha, beta, gamma float64) float64 {
+	level, trend, seasonal := h.initState(series)
+	var sse float64
+	for t := h.Period; t < len(series); t++ {
+		pred := level + trend + seasonal[t%h.Period]
+		if t >= 2*h.Period {
+			d := pred - series[t]
+			sse += d * d
+		}
+		h.update(series[t], &level, &trend, seasonal, t, alpha, beta, gamma)
+	}
+	if math.IsNaN(sse) {
+		return math.Inf(1)
+	}
+	return sse
+}
+
+// initState seeds level/trend from the first two seasons and the
+// seasonal profile from season one's deviations.
+func (h *HoltWinters) initState(series []float64) (level, trend float64, seasonal []float64) {
+	m := h.Period
+	var s1, s2 float64
+	for i := 0; i < m; i++ {
+		s1 += series[i]
+		s2 += series[m+i]
+	}
+	mean1, mean2 := s1/float64(m), s2/float64(m)
+	level = mean1
+	trend = (mean2 - mean1) / float64(m)
+	seasonal = make([]float64, m)
+	for i := 0; i < m; i++ {
+		seasonal[i] = series[i] - mean1
+	}
+	return level, trend, seasonal
+}
+
+func (h *HoltWinters) update(obs float64, level, trend *float64, seasonal []float64, t int, alpha, beta, gamma float64) {
+	si := t % h.Period
+	prevLevel := *level
+	*level = alpha*(obs-seasonal[si]) + (1-alpha)*(*level+*trend)
+	*trend = beta*(*level-prevLevel) + (1-beta)*(*trend)
+	seasonal[si] = gamma*(obs-*level) + (1-gamma)*seasonal[si]
+}
+
+// Forecast implements Forecaster.
+func (h *HoltWinters) Forecast(history []float64, steps int) ([]float64, error) {
+	if !h.fitted {
+		return nil, ErrNotFitted
+	}
+	if steps < 1 {
+		return nil, fmt.Errorf("forecast: steps %d < 1", steps)
+	}
+	if len(history) < 2*h.Period {
+		return nil, fmt.Errorf("%w: history %d for period %d", ErrSeriesTooShort, len(history), h.Period)
+	}
+	level, trend, seasonal := h.initState(history)
+	for t := h.Period; t < len(history); t++ {
+		h.update(history[t], &level, &trend, seasonal, t, h.alpha, h.beta, h.gamma)
+	}
+	out := make([]float64, steps)
+	for k := 1; k <= steps; k++ {
+		t := len(history) + k - 1
+		out[k-1] = level + float64(k)*trend + seasonal[t%h.Period]
+	}
+	return out, nil
+}
+
+// Name implements Forecaster.
+func (h *HoltWinters) Name() string { return fmt.Sprintf("holt-winters-%d", h.Period) }

@@ -1,0 +1,139 @@
+package forecast
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNewHoltWintersValidation(t *testing.T) {
+	if _, err := NewHoltWinters(1); err == nil {
+		t.Error("period 1 should error")
+	}
+}
+
+func TestHoltWintersLifecycle(t *testing.T) {
+	h, err := NewHoltWinters(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Forecast(make([]float64, 100), 1); !errors.Is(err, ErrNotFitted) {
+		t.Errorf("unfitted: %v", err)
+	}
+	if err := h.Fit(make([]float64, 30)); !errors.Is(err, ErrSeriesTooShort) {
+		t.Errorf("short fit: %v", err)
+	}
+}
+
+func TestHoltWintersTracksSeasonAndTrend(t *testing.T) {
+	// series = 10 + 0.5t + 20 sin(2πt/12): the smoother must recover both
+	// the trend and the seasonal shape.
+	const period = 12
+	n := period * 12
+	series := make([]float64, n)
+	for i := range series {
+		series[i] = 10 + 0.5*float64(i) + 20*math.Sin(2*math.Pi*float64(i%period)/period)
+	}
+	h, err := NewHoltWinters(period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := series[:n-period]
+	if err := h.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	preds, err := h.Forecast(train, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, p := range preds {
+		want := series[n-period+k]
+		if math.Abs(p-want) > 4 {
+			t.Errorf("step %d: %v, want ~%v", k, p, want)
+		}
+	}
+}
+
+func TestHoltWintersBeatsMAOnCycle(t *testing.T) {
+	series := syntheticSeries(24*12, 41, 3)
+	train, test, err := SplitTrainTest(series, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := NewHoltWinters(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hw.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	hwRMSE, err := WalkForwardRMSE(hw, train, test, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, err := NewMovingAverage(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ma.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	maRMSE, err := WalkForwardRMSE(ma, train, test, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hwRMSE >= maRMSE {
+		t.Errorf("holt-winters RMSE %.2f should beat MA %.2f on a seasonal series", hwRMSE, maRMSE)
+	}
+}
+
+func TestHoltWintersParamsInRange(t *testing.T) {
+	h, err := NewHoltWinters(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.GridSteps = 3
+	series := syntheticSeries(6*10, 5, 1)
+	if err := h.Fit(series); err != nil {
+		t.Fatal(err)
+	}
+	a, b, g := h.Params()
+	for _, v := range []float64{a, b, g} {
+		if v < 0.05-1e-9 || v > 0.95+1e-9 {
+			t.Errorf("parameter %v outside grid", v)
+		}
+	}
+	if h.Name() != "holt-winters-6" {
+		t.Errorf("Name=%q", h.Name())
+	}
+	if _, err := h.Forecast(series, 0); err == nil {
+		t.Error("steps 0 should error")
+	}
+	if _, err := h.Forecast(series[:5], 2); !errors.Is(err, ErrSeriesTooShort) {
+		t.Errorf("short history: %v", err)
+	}
+}
+
+func TestHoltWintersDeterministic(t *testing.T) {
+	series := syntheticSeries(24*8, 13, 2)
+	run := func() []float64 {
+		h, err := NewHoltWinters(24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Fit(series); err != nil {
+			t.Fatal(err)
+		}
+		preds, err := h.Forecast(series, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return preds
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic")
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLSTMGradientCheck verifies the analytic BPTT gradients against
+// central finite differences on a tiny network. This is the strongest
+// guarantee available that the backward pass is correct.
+func TestLSTMGradientCheck(t *testing.T) {
+	cfg := LSTMConfig{
+		Hidden: 3, Layers: 2, Lookback: 4, Epochs: 1,
+		LearningRate: 0.01, Seed: 123,
+	}
+	l, err := NewLSTM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := []float64{0.2, -0.5, 0.9, 0.1}
+	target := 0.4
+
+	loss := func() float64 {
+		pred := l.forwardWindow(window, nil)
+		d := pred - target
+		return 0.5 * d * d
+	}
+
+	grads := l.computeGradients(window, target)
+
+	const eps = 1e-5
+	const tol = 1e-5
+	checkTensor := func(name string, params, analytic []float64) {
+		t.Helper()
+		if len(params) != len(analytic) {
+			t.Fatalf("%s: %d params vs %d grads", name, len(params), len(analytic))
+		}
+		step := len(params)/5 + 1
+		for i := 0; i < len(params); i += step {
+			orig := params[i]
+			params[i] = orig + eps
+			up := loss()
+			params[i] = orig - eps
+			down := loss()
+			params[i] = orig
+			numeric := (up - down) / (2 * eps)
+			if math.Abs(numeric-analytic[i]) > tol*(1+math.Abs(numeric)) {
+				t.Errorf("%s[%d]: analytic %v vs numeric %v", name, i, analytic[i], numeric)
+			}
+		}
+	}
+
+	for li, layer := range l.layers {
+		checkTensor("wx", layer.wx.Data, grads.dWx[li].Data)
+		checkTensor("wh", layer.wh.Data, grads.dWh[li].Data)
+		checkTensor("b", layer.b, grads.dB[li])
+	}
+	checkTensor("wy", l.wy, grads.dWy)
+
+	orig := l.by
+	l.by = orig + eps
+	up := loss()
+	l.by = orig - eps
+	down := loss()
+	l.by = orig
+	numeric := (up - down) / (2 * eps)
+	if math.Abs(numeric-grads.dBy) > tol*(1+math.Abs(numeric)) {
+		t.Errorf("by: analytic %v vs numeric %v", grads.dBy, numeric)
+	}
+}
+
+// TestLSTMComputeGradientsPure ensures the gradient pass does not mutate
+// network parameters.
+func TestLSTMComputeGradientsPure(t *testing.T) {
+	l, err := NewLSTM(LSTMConfig{
+		Hidden: 4, Layers: 1, Lookback: 3, Epochs: 1,
+		LearningRate: 0.01, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float64(nil), l.layers[0].wx.Data...)
+	l.computeGradients([]float64{0.1, 0.2, 0.3}, 0.5)
+	for i, v := range l.layers[0].wx.Data {
+		if v != before[i] {
+			t.Fatalf("computeGradients mutated wx[%d]", i)
+		}
+	}
+}
+
+// TestLSTMTrainingReducesLoss checks that a handful of BPTT steps on a
+// single example strictly reduces its loss.
+func TestLSTMTrainingReducesLoss(t *testing.T) {
+	l, err := NewLSTM(LSTMConfig{
+		Hidden: 8, Layers: 1, Lookback: 5, Epochs: 1,
+		LearningRate: 0.02, ClipNorm: 1, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := []float64{0.5, -0.1, 0.3, 0.8, -0.4}
+	target := 0.7
+	loss := func() float64 {
+		d := l.forwardWindow(window, nil) - target
+		return 0.5 * d * d
+	}
+	initial := loss()
+	for i := 0; i < 50; i++ {
+		l.trainWindow(window, target)
+	}
+	if final := loss(); final >= initial {
+		t.Errorf("loss did not decrease: %v -> %v", initial, final)
+	}
+}

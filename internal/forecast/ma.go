@@ -1,0 +1,61 @@
+package forecast
+
+import (
+	"fmt"
+)
+
+// MovingAverage forecasts the mean of the last WindowSize observations
+// (Table II's "MA" baseline with window size wz). Multi-step forecasts
+// feed predictions back into the window.
+type MovingAverage struct {
+	WindowSize int
+	fitted     bool
+}
+
+var _ Forecaster = (*MovingAverage)(nil)
+
+// NewMovingAverage validates the window size and returns the model.
+func NewMovingAverage(windowSize int) (*MovingAverage, error) {
+	if windowSize < 1 {
+		return nil, fmt.Errorf("forecast: MA window %d < 1", windowSize)
+	}
+	return &MovingAverage{WindowSize: windowSize}, nil
+}
+
+// Fit implements Forecaster. MA has no trainable parameters; Fit only
+// validates that the series can cover one window.
+func (m *MovingAverage) Fit(series []float64) error {
+	if len(series) < m.WindowSize {
+		return fmt.Errorf("%w: %d points for window %d", ErrSeriesTooShort, len(series), m.WindowSize)
+	}
+	m.fitted = true
+	return nil
+}
+
+// Forecast implements Forecaster.
+func (m *MovingAverage) Forecast(history []float64, steps int) ([]float64, error) {
+	if !m.fitted {
+		return nil, ErrNotFitted
+	}
+	if steps < 1 {
+		return nil, fmt.Errorf("forecast: steps %d < 1", steps)
+	}
+	if len(history) < m.WindowSize {
+		return nil, fmt.Errorf("%w: history %d for window %d", ErrSeriesTooShort, len(history), m.WindowSize)
+	}
+	window := append([]float64(nil), history[len(history)-m.WindowSize:]...)
+	out := make([]float64, steps)
+	for s := 0; s < steps; s++ {
+		var sum float64
+		for _, v := range window {
+			sum += v
+		}
+		pred := sum / float64(len(window))
+		out[s] = pred
+		window = append(window[1:], pred)
+	}
+	return out, nil
+}
+
+// Name implements Forecaster.
+func (m *MovingAverage) Name() string { return fmt.Sprintf("ma-wz%d", m.WindowSize) }

@@ -1,0 +1,97 @@
+package forecast
+
+import (
+	"fmt"
+)
+
+// Difference applies d-th order differencing to series, returning the
+// differenced series and the d leading values needed to re-integrate.
+// ARIMA's "I" component.
+func Difference(series []float64, d int) (diffed []float64, heads [][]float64, err error) {
+	if d < 0 {
+		return nil, nil, fmt.Errorf("forecast: negative differencing order %d", d)
+	}
+	if len(series) <= d {
+		return nil, nil, fmt.Errorf("%w: length %d with d=%d", ErrSeriesTooShort, len(series), d)
+	}
+	cur := append([]float64(nil), series...)
+	heads = make([][]float64, 0, d)
+	for k := 0; k < d; k++ {
+		heads = append(heads, []float64{cur[0]})
+		next := make([]float64, len(cur)-1)
+		for i := 1; i < len(cur); i++ {
+			next[i-1] = cur[i] - cur[i-1]
+		}
+		cur = next
+	}
+	return cur, heads, nil
+}
+
+// Integrate inverts Difference: given a differenced continuation and the
+// last value at each differencing level, it reconstructs the original
+// scale. lastAtLevel[k] is the final observed value after k differencing
+// passes (k=0 is the raw series).
+func Integrate(diffedForecast []float64, lastAtLevel []float64) []float64 {
+	out := append([]float64(nil), diffedForecast...)
+	// Walk back up the differencing levels.
+	for level := len(lastAtLevel) - 2; level >= 0; level-- {
+		prev := lastAtLevel[level]
+		for i := range out {
+			prev += out[i]
+			out[i] = prev
+		}
+	}
+	return out
+}
+
+// LastAtLevels returns the last value of series at each of d+1
+// differencing levels: index 0 is the raw last value, index k the last
+// value after k differencing passes.
+func LastAtLevels(series []float64, d int) ([]float64, error) {
+	if len(series) <= d {
+		return nil, fmt.Errorf("%w: length %d with d=%d", ErrSeriesTooShort, len(series), d)
+	}
+	out := make([]float64, d+1)
+	cur := append([]float64(nil), series...)
+	out[0] = cur[len(cur)-1]
+	for k := 1; k <= d; k++ {
+		next := make([]float64, len(cur)-1)
+		for i := 1; i < len(cur); i++ {
+			next[i-1] = cur[i] - cur[i-1]
+		}
+		cur = next
+		out[k] = cur[len(cur)-1]
+	}
+	return out, nil
+}
+
+// Windows converts a series into supervised (input window, next value)
+// pairs with the given lookback. Used to build LSTM training batches.
+func Windows(series []float64, lookback int) (inputs [][]float64, targets []float64, err error) {
+	if lookback < 1 {
+		return nil, nil, fmt.Errorf("forecast: lookback %d < 1", lookback)
+	}
+	if len(series) <= lookback {
+		return nil, nil, fmt.Errorf("%w: length %d with lookback %d", ErrSeriesTooShort, len(series), lookback)
+	}
+	n := len(series) - lookback
+	inputs = make([][]float64, n)
+	targets = make([]float64, n)
+	for i := 0; i < n; i++ {
+		inputs[i] = series[i : i+lookback]
+		targets[i] = series[i+lookback]
+	}
+	return inputs, targets, nil
+}
+
+// SplitTrainTest splits a series at the given training fraction.
+func SplitTrainTest(series []float64, trainFrac float64) (train, test []float64, err error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, fmt.Errorf("forecast: train fraction %v out of (0,1)", trainFrac)
+	}
+	cut := int(float64(len(series)) * trainFrac)
+	if cut == 0 || cut == len(series) {
+		return nil, nil, fmt.Errorf("%w: cannot split %d points at %v", ErrSeriesTooShort, len(series), trainFrac)
+	}
+	return series[:cut], series[cut:], nil
+}

@@ -1,0 +1,170 @@
+package forecast
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestDifference(t *testing.T) {
+	tests := []struct {
+		name    string
+		series  []float64
+		d       int
+		want    []float64
+		wantErr bool
+	}{
+		{"d=0 identity", []float64{1, 2, 4}, 0, []float64{1, 2, 4}, false},
+		{"d=1", []float64{1, 3, 6, 10}, 1, []float64{2, 3, 4}, false},
+		{"d=2", []float64{1, 3, 6, 10}, 2, []float64{1, 1}, false},
+		{"negative d", []float64{1, 2}, -1, nil, true},
+		{"too short", []float64{1}, 1, nil, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, _, err := Difference(tt.series, tt.d)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err=%v, wantErr=%v", err, tt.wantErr)
+			}
+			if err != nil {
+				return
+			}
+			if len(got) != len(tt.want) {
+				t.Fatalf("len=%d, want %d", len(got), len(tt.want))
+			}
+			for i := range tt.want {
+				if got[i] != tt.want[i] {
+					t.Errorf("got[%d]=%v, want %v", i, got[i], tt.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestDifferenceDoesNotMutate(t *testing.T) {
+	series := []float64{5, 4, 3}
+	if _, _, err := Difference(series, 1); err != nil {
+		t.Fatal(err)
+	}
+	if series[0] != 5 || series[1] != 4 {
+		t.Errorf("input mutated: %v", series)
+	}
+}
+
+func TestIntegrateInvertsDifference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for d := 0; d <= 2; d++ {
+		series := make([]float64, 30)
+		for i := range series {
+			series[i] = rng.Float64()*100 - 50
+		}
+		// Treat the tail as a "forecast" and check reconstruction.
+		history := series[:20]
+		future := series[20:]
+		diffedAll, _, err := Difference(series, d)
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		// The differenced future is the last len(future) entries.
+		diffedFuture := diffedAll[len(diffedAll)-len(future):]
+		last, err := LastAtLevels(history, d)
+		if err != nil {
+			t.Fatalf("LastAtLevels: %v", err)
+		}
+		got := Integrate(diffedFuture, last)
+		for i := range future {
+			if math.Abs(got[i]-future[i]) > 1e-9 {
+				t.Fatalf("d=%d: reconstructed[%d]=%v, want %v", d, i, got[i], future[i])
+			}
+		}
+	}
+}
+
+func TestLastAtLevels(t *testing.T) {
+	series := []float64{1, 3, 6, 10}
+	got, err := LastAtLevels(series, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw last 10; first diff last 4; second diff last 1.
+	want := []float64{10, 4, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("level %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := LastAtLevels([]float64{1}, 1); !errors.Is(err, ErrSeriesTooShort) {
+		t.Errorf("short series: %v", err)
+	}
+}
+
+func TestWindows(t *testing.T) {
+	series := []float64{1, 2, 3, 4, 5}
+	inputs, targets, err := Windows(series, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inputs) != 3 || len(targets) != 3 {
+		t.Fatalf("got %d windows, want 3", len(inputs))
+	}
+	if inputs[0][0] != 1 || inputs[0][1] != 2 || targets[0] != 3 {
+		t.Errorf("window 0 wrong: %v -> %v", inputs[0], targets[0])
+	}
+	if inputs[2][0] != 3 || inputs[2][1] != 4 || targets[2] != 5 {
+		t.Errorf("window 2 wrong: %v -> %v", inputs[2], targets[2])
+	}
+	if _, _, err := Windows(series, 0); err == nil {
+		t.Error("lookback 0 should error")
+	}
+	if _, _, err := Windows(series, 5); !errors.Is(err, ErrSeriesTooShort) {
+		t.Errorf("too-long lookback: %v", err)
+	}
+}
+
+func TestSplitTrainTest(t *testing.T) {
+	series := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	train, test, err := SplitTrainTest(series, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train) != 7 || len(test) != 3 {
+		t.Errorf("split %d/%d, want 7/3", len(train), len(test))
+	}
+	for _, frac := range []float64{0, 1, -0.5, 1.5} {
+		if _, _, err := SplitTrainTest(series, frac); err == nil {
+			t.Errorf("frac %v should error", frac)
+		}
+	}
+	if _, _, err := SplitTrainTest([]float64{1}, 0.5); err == nil {
+		t.Error("degenerate split should error")
+	}
+}
+
+func TestScaler(t *testing.T) {
+	s := FitScaler([]float64{2, 4, 6})
+	if math.Abs(s.Mean-4) > 1e-12 {
+		t.Errorf("mean=%v", s.Mean)
+	}
+	if got := s.Transform(4); got != 0 {
+		t.Errorf("Transform(mean)=%v, want 0", got)
+	}
+	for _, v := range []float64{-3, 0, 7.5} {
+		if got := s.Invert(s.Transform(v)); math.Abs(got-v) > 1e-12 {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+	// Constant series must not blow up.
+	c := FitScaler([]float64{5, 5, 5})
+	if c.StdDev != 1 {
+		t.Errorf("constant series StdDev=%v, want 1", c.StdDev)
+	}
+	e := FitScaler(nil)
+	if e.StdDev != 1 {
+		t.Errorf("empty series StdDev=%v, want 1", e.StdDev)
+	}
+	all := s.TransformAll([]float64{2, 4, 6})
+	if len(all) != 3 || all[1] != 0 {
+		t.Errorf("TransformAll wrong: %v", all)
+	}
+}

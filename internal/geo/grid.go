@@ -1,0 +1,167 @@
+package geo
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOutsideGrid is returned when a point falls outside a Grid's bounding
+// box and clamping was not requested.
+var ErrOutsideGrid = errors.New("geo: point outside grid")
+
+// Cell identifies a grid cell by column (X direction) and row (Y direction).
+type Cell struct {
+	Col int `json:"col"`
+	Row int `json:"row"`
+}
+
+// String implements fmt.Stringer.
+func (c Cell) String() string { return fmt.Sprintf("cell(%d,%d)", c.Col, c.Row) }
+
+// Grid divides a bounding box into uniform square cells. The paper divides
+// the metropolitan area into 100x100 m grids whose centroids are the
+// candidate parking locations (Section III-A).
+type Grid struct {
+	box      BBox
+	cellSize float64
+	cols     int
+	rows     int
+}
+
+// NewGrid builds a grid over box with the given cell side in metres. The
+// rightmost column and topmost row may be partial; points on the outer edge
+// map into the last full index.
+func NewGrid(box BBox, cellSize float64) (*Grid, error) {
+	if cellSize <= 0 {
+		return nil, fmt.Errorf("geo: cell size must be positive, got %v", cellSize)
+	}
+	if box.Width() <= 0 || box.Height() <= 0 {
+		return nil, fmt.Errorf("geo: degenerate grid box %v", box)
+	}
+	cols := int(box.Width()/cellSize + 0.999999)
+	rows := int(box.Height()/cellSize + 0.999999)
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return &Grid{box: box, cellSize: cellSize, cols: cols, rows: rows}, nil
+}
+
+// MustGrid is NewGrid that panics on invalid input; intended for tests and
+// package-level configuration of constants.
+func MustGrid(box BBox, cellSize float64) *Grid {
+	g, err := NewGrid(box, cellSize)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Box returns the grid's bounding box.
+func (g *Grid) Box() BBox { return g.box }
+
+// CellSize returns the cell side length in metres.
+func (g *Grid) CellSize() float64 { return g.cellSize }
+
+// Cols returns the number of columns.
+func (g *Grid) Cols() int { return g.cols }
+
+// Rows returns the number of rows.
+func (g *Grid) Rows() int { return g.rows }
+
+// NumCells returns Cols*Rows.
+func (g *Grid) NumCells() int { return g.cols * g.rows }
+
+// CellOf maps p to its containing cell. It returns ErrOutsideGrid when p is
+// outside the bounding box.
+func (g *Grid) CellOf(p Point) (Cell, error) {
+	if !g.box.Contains(p) {
+		return Cell{}, fmt.Errorf("%w: %v not in %v", ErrOutsideGrid, p, g.box)
+	}
+	return g.clampedCellOf(p), nil
+}
+
+// ClampedCellOf maps p to the nearest cell, clamping points outside the box
+// onto the boundary.
+func (g *Grid) ClampedCellOf(p Point) Cell {
+	return g.clampedCellOf(g.box.Clamp(p))
+}
+
+func (g *Grid) clampedCellOf(p Point) Cell {
+	col := int((p.X - g.box.MinX) / g.cellSize)
+	row := int((p.Y - g.box.MinY) / g.cellSize)
+	if col >= g.cols {
+		col = g.cols - 1
+	}
+	if row >= g.rows {
+		row = g.rows - 1
+	}
+	if col < 0 {
+		col = 0
+	}
+	if row < 0 {
+		row = 0
+	}
+	return Cell{Col: col, Row: row}
+}
+
+// Centroid returns the centre point of cell c. Out-of-range cells are
+// clamped to the grid.
+func (g *Grid) Centroid(c Cell) Point {
+	if c.Col < 0 {
+		c.Col = 0
+	}
+	if c.Row < 0 {
+		c.Row = 0
+	}
+	if c.Col >= g.cols {
+		c.Col = g.cols - 1
+	}
+	if c.Row >= g.rows {
+		c.Row = g.rows - 1
+	}
+	return Point{
+		X: g.box.MinX + (float64(c.Col)+0.5)*g.cellSize,
+		Y: g.box.MinY + (float64(c.Row)+0.5)*g.cellSize,
+	}
+}
+
+// Index linearises c in row-major order. It returns -1 for out-of-range
+// cells.
+func (g *Grid) Index(c Cell) int {
+	if c.Col < 0 || c.Row < 0 || c.Col >= g.cols || c.Row >= g.rows {
+		return -1
+	}
+	return c.Row*g.cols + c.Col
+}
+
+// CellAt inverts Index. It returns an error for out-of-range indices.
+func (g *Grid) CellAt(idx int) (Cell, error) {
+	if idx < 0 || idx >= g.NumCells() {
+		return Cell{}, fmt.Errorf("geo: cell index %d out of range [0,%d)", idx, g.NumCells())
+	}
+	return Cell{Col: idx % g.cols, Row: idx / g.cols}, nil
+}
+
+// Centroids returns the centroid of every cell in row-major order.
+func (g *Grid) Centroids() []Point {
+	pts := make([]Point, 0, g.NumCells())
+	for r := 0; r < g.rows; r++ {
+		for c := 0; c < g.cols; c++ {
+			pts = append(pts, g.Centroid(Cell{Col: c, Row: r}))
+		}
+	}
+	return pts
+}
+
+// Histogram counts points per cell (clamping strays onto the boundary) and
+// returns counts in row-major order.
+func (g *Grid) Histogram(pts []Point) []int {
+	counts := make([]int, g.NumCells())
+	for _, p := range pts {
+		counts[g.Index(g.ClampedCellOf(p))]++
+	}
+	return counts
+}

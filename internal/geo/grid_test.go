@@ -1,0 +1,263 @@
+package geo
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+)
+
+func testGrid(t *testing.T) *Grid {
+	t.Helper()
+	g, err := NewGrid(Square(Pt(0, 0), 3000), 100)
+	if err != nil {
+		t.Fatalf("NewGrid: %v", err)
+	}
+	return g
+}
+
+func TestNewGridValidation(t *testing.T) {
+	tests := []struct {
+		name     string
+		box      BBox
+		cellSize float64
+		wantErr  bool
+	}{
+		{"valid", Square(Pt(0, 0), 1000), 100, false},
+		{"zero cell", Square(Pt(0, 0), 1000), 0, true},
+		{"negative cell", Square(Pt(0, 0), 1000), -5, true},
+		{"degenerate box", BBox{}, 100, true},
+		{"inverted box", BBox{MinX: 10, MaxX: 0, MinY: 0, MaxY: 10}, 1, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewGrid(tt.box, tt.cellSize)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("err=%v, wantErr=%v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestGridDimensions(t *testing.T) {
+	g := testGrid(t)
+	if g.Cols() != 30 || g.Rows() != 30 {
+		t.Errorf("got %dx%d, want 30x30", g.Cols(), g.Rows())
+	}
+	if g.NumCells() != 900 {
+		t.Errorf("NumCells=%d, want 900", g.NumCells())
+	}
+	// A 3x3 km field with 100 m cells is exactly the paper's setup
+	// (23.9K bins come from the full city; the experiment field is 3x3 km).
+	if g.CellSize() != 100 {
+		t.Errorf("CellSize=%v, want 100", g.CellSize())
+	}
+}
+
+func TestGridPartialCells(t *testing.T) {
+	g, err := NewGrid(NewBBox(Pt(0, 0), Pt(250, 199)), 100)
+	if err != nil {
+		t.Fatalf("NewGrid: %v", err)
+	}
+	if g.Cols() != 3 || g.Rows() != 2 {
+		t.Errorf("got %dx%d, want 3x2", g.Cols(), g.Rows())
+	}
+}
+
+func TestCellOf(t *testing.T) {
+	g := testGrid(t)
+	tests := []struct {
+		name    string
+		p       Point
+		want    Cell
+		wantErr bool
+	}{
+		{"origin corner", Pt(0, 0), Cell{0, 0}, false},
+		{"inside first", Pt(99.9, 99.9), Cell{0, 0}, false},
+		{"second col", Pt(100, 0), Cell{1, 0}, false},
+		{"center", Pt(1550, 1550), Cell{15, 15}, false},
+		{"outer edge clamps in", Pt(3000, 3000), Cell{29, 29}, false},
+		{"outside", Pt(-1, 0), Cell{}, true},
+		{"far outside", Pt(5000, 5000), Cell{}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := g.CellOf(tt.p)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err=%v, wantErr=%v", err, tt.wantErr)
+			}
+			if err != nil {
+				if !errors.Is(err, ErrOutsideGrid) {
+					t.Errorf("error should wrap ErrOutsideGrid, got %v", err)
+				}
+				return
+			}
+			if got != tt.want {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestClampedCellOf(t *testing.T) {
+	g := testGrid(t)
+	tests := []struct {
+		name string
+		p    Point
+		want Cell
+	}{
+		{"inside unchanged", Pt(150, 250), Cell{1, 2}},
+		{"left of box", Pt(-500, 150), Cell{0, 1}},
+		{"above box", Pt(150, 9999), Cell{1, 29}},
+		{"corner overflow", Pt(1e9, -1e9), Cell{29, 0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := g.ClampedCellOf(tt.p); got != tt.want {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCentroidInsideOwnCell(t *testing.T) {
+	g := testGrid(t)
+	for r := 0; r < g.Rows(); r += 7 {
+		for c := 0; c < g.Cols(); c += 7 {
+			cell := Cell{Col: c, Row: r}
+			got, err := g.CellOf(g.Centroid(cell))
+			if err != nil {
+				t.Fatalf("centroid of %v outside grid: %v", cell, err)
+			}
+			if got != cell {
+				t.Errorf("centroid of %v maps to %v", cell, got)
+			}
+		}
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	g := testGrid(t)
+	for idx := 0; idx < g.NumCells(); idx += 13 {
+		cell, err := g.CellAt(idx)
+		if err != nil {
+			t.Fatalf("CellAt(%d): %v", idx, err)
+		}
+		if back := g.Index(cell); back != idx {
+			t.Errorf("Index(CellAt(%d)) = %d", idx, back)
+		}
+	}
+	if g.Index(Cell{Col: -1, Row: 0}) != -1 || g.Index(Cell{Col: 0, Row: 99}) != -1 {
+		t.Error("out-of-range cells should index to -1")
+	}
+	if _, err := g.CellAt(-1); err == nil {
+		t.Error("CellAt(-1) should error")
+	}
+	if _, err := g.CellAt(g.NumCells()); err == nil {
+		t.Error("CellAt(NumCells) should error")
+	}
+}
+
+func TestCentroids(t *testing.T) {
+	g, err := NewGrid(Square(Pt(0, 0), 200), 100)
+	if err != nil {
+		t.Fatalf("NewGrid: %v", err)
+	}
+	got := g.Centroids()
+	want := []Point{Pt(50, 50), Pt(150, 50), Pt(50, 150), Pt(150, 150)}
+	if len(got) != len(want) {
+		t.Fatalf("len=%d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("centroid[%d]=%v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	g, err := NewGrid(Square(Pt(0, 0), 200), 100)
+	if err != nil {
+		t.Fatalf("NewGrid: %v", err)
+	}
+	pts := []Point{Pt(10, 10), Pt(20, 20), Pt(150, 50), Pt(-5, 300)}
+	counts := g.Histogram(pts)
+	want := []int{2, 1, 1, 0} // stray point clamps to cell (0,1) = index 2
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("counts[%d]=%d, want %d", i, counts[i], want[i])
+		}
+	}
+}
+
+func TestHistogramTotalPreserved(t *testing.T) {
+	g := testGrid(t)
+	rng := rand.New(rand.NewPCG(21, 22))
+	pts := make([]Point, 1000)
+	for i := range pts {
+		// Half inside, half potentially outside.
+		pts[i] = Pt(rng.Float64()*6000-1500, rng.Float64()*6000-1500)
+	}
+	total := 0
+	for _, c := range g.Histogram(pts) {
+		total += c
+	}
+	if total != len(pts) {
+		t.Errorf("histogram total %d, want %d", total, len(pts))
+	}
+}
+
+func TestBBox(t *testing.T) {
+	b := NewBBox(Pt(10, 20), Pt(-5, 3))
+	if b.MinX != -5 || b.MaxX != 10 || b.MinY != 3 || b.MaxY != 20 {
+		t.Errorf("NewBBox normalization wrong: %v", b)
+	}
+	if b.Width() != 15 || b.Height() != 17 {
+		t.Errorf("dims: w=%v h=%v", b.Width(), b.Height())
+	}
+	if !almostEqual(b.Area(), 255, 1e-12) {
+		t.Errorf("Area=%v", b.Area())
+	}
+	if c := b.Center(); c != Pt(2.5, 11.5) {
+		t.Errorf("Center=%v", c)
+	}
+	if !b.Contains(Pt(0, 10)) || b.Contains(Pt(11, 10)) {
+		t.Error("Contains wrong")
+	}
+	if got := b.Clamp(Pt(100, -100)); got != Pt(10, 3) {
+		t.Errorf("Clamp=%v", got)
+	}
+}
+
+func TestBound(t *testing.T) {
+	if got := Bound(nil); got != (BBox{}) {
+		t.Errorf("Bound(nil)=%v", got)
+	}
+	pts := []Point{Pt(1, 5), Pt(-2, 3), Pt(4, -1)}
+	got := Bound(pts)
+	want := BBox{MinX: -2, MinY: -1, MaxX: 4, MaxY: 5}
+	if got != want {
+		t.Errorf("Bound=%v, want %v", got, want)
+	}
+	for _, p := range pts {
+		if !got.Contains(p) {
+			t.Errorf("Bound does not contain %v", p)
+		}
+	}
+}
+
+func TestBoundContainsAllProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 41))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.IntN(30)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*2000-1000, rng.Float64()*2000-1000)
+		}
+		b := Bound(pts)
+		for _, p := range pts {
+			if !b.Contains(p) {
+				t.Fatalf("Bound %v misses %v", b, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package geo
+
+import (
+	"math"
+	"sort"
+)
+
+// KDTree is a static 2-d tree over a point set, answering nearest-
+// neighbour queries in O(log n) expected time. The linear geo.Nearest is
+// fine for the station counts of the paper's experiments; the tree is the
+// scale path for city-sized deployments (tens of thousands of candidate
+// cells), and the dynamic wrapper below supports the placers' append-
+// heavy workloads.
+type KDTree struct {
+	pts   []Point
+	nodes []kdNode
+	root  int32
+}
+
+type kdNode struct {
+	idx         int32 // index into pts
+	left, right int32 // -1 when absent
+	axis        uint8 // 0 = X, 1 = Y
+}
+
+// BuildKDTree constructs a balanced tree over pts (copied). An empty
+// input yields an empty tree.
+func BuildKDTree(pts []Point) *KDTree {
+	t := &KDTree{
+		pts:   append([]Point(nil), pts...),
+		nodes: make([]kdNode, 0, len(pts)),
+		root:  -1,
+	}
+	if len(pts) == 0 {
+		return t
+	}
+	order := make([]int32, len(pts))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	t.root = t.build(order, 0)
+	return t
+}
+
+func (t *KDTree) build(order []int32, depth uint8) int32 {
+	if len(order) == 0 {
+		return -1
+	}
+	axis := depth % 2
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := t.pts[order[a]], t.pts[order[b]]
+		if axis == 0 {
+			if pa.X != pb.X {
+				return pa.X < pb.X
+			}
+		} else if pa.Y != pb.Y {
+			return pa.Y < pb.Y
+		}
+		return order[a] < order[b]
+	})
+	mid := len(order) / 2
+	node := kdNode{idx: order[mid], axis: axis}
+	nodeIdx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node)
+	left := t.build(order[:mid], depth+1)
+	right := t.build(order[mid+1:], depth+1)
+	t.nodes[nodeIdx].left = left
+	t.nodes[nodeIdx].right = right
+	return nodeIdx
+}
+
+// Len returns the number of indexed points.
+func (t *KDTree) Len() int { return len(t.pts) }
+
+// At returns the i-th indexed point.
+func (t *KDTree) At(i int) Point { return t.pts[i] }
+
+// Nearest returns the index and distance of the point closest to q, or
+// (-1, +Inf) for an empty tree. Ties resolve to the lowest index,
+// matching geo.Nearest.
+func (t *KDTree) Nearest(q Point) (int, float64) {
+	best := int32(-1)
+	bestD2 := math.Inf(1)
+	t.search(t.root, q, &best, &bestD2)
+	if best < 0 {
+		return -1, math.Inf(1)
+	}
+	return int(best), math.Sqrt(bestD2)
+}
+
+func (t *KDTree) search(node int32, q Point, best *int32, bestD2 *float64) {
+	if node < 0 {
+		return
+	}
+	n := t.nodes[node]
+	p := t.pts[n.idx]
+	d2 := q.Dist2(p)
+	if d2 < *bestD2 || (d2 == *bestD2 && (*best < 0 || n.idx < *best)) {
+		*best = n.idx
+		*bestD2 = d2
+	}
+	var diff float64
+	if n.axis == 0 {
+		diff = q.X - p.X
+	} else {
+		diff = q.Y - p.Y
+	}
+	near, far := n.left, n.right
+	if diff > 0 {
+		near, far = far, near
+	}
+	t.search(near, q, best, bestD2)
+	if diff*diff <= *bestD2 {
+		t.search(far, q, best, bestD2)
+	}
+}
+
+// dynamicRebuildSlack bounds the unindexed tail before a rebuild.
+const dynamicRebuildSlack = 64
+
+// DynamicIndex maintains nearest-neighbour queries over a growing point
+// set: appends go to a linear tail that is folded into the tree once it
+// exceeds max(dynamicRebuildSlack, n/4), giving amortised O(log n)
+// queries under the placers' append-mostly workload. Indices are stable
+// insertion positions.
+type DynamicIndex struct {
+	tree  *KDTree
+	extra []Point // points appended since the last rebuild
+}
+
+// NewDynamicIndex starts from an initial point set.
+func NewDynamicIndex(pts []Point) *DynamicIndex {
+	return &DynamicIndex{tree: BuildKDTree(pts)}
+}
+
+// Len returns the total number of indexed points.
+func (d *DynamicIndex) Len() int { return d.tree.Len() + len(d.extra) }
+
+// At returns the i-th point in insertion order.
+func (d *DynamicIndex) At(i int) Point {
+	if i < d.tree.Len() {
+		return d.tree.At(i)
+	}
+	return d.extra[i-d.tree.Len()]
+}
+
+// Insert appends p, returning its stable index.
+func (d *DynamicIndex) Insert(p Point) int {
+	d.extra = append(d.extra, p)
+	idx := d.Len() - 1
+	threshold := d.tree.Len() / 4
+	if threshold < dynamicRebuildSlack {
+		threshold = dynamicRebuildSlack
+	}
+	if len(d.extra) > threshold {
+		d.rebuild()
+	}
+	return idx
+}
+
+// Remove deletes the i-th point; later indices shift down by one
+// (matching slice deletion semantics in the placers). It rebuilds the
+// tree, so it should stay rare relative to queries.
+func (d *DynamicIndex) Remove(i int) bool {
+	n := d.Len()
+	if i < 0 || i >= n {
+		return false
+	}
+	all := d.snapshot()
+	all = append(all[:i], all[i+1:]...)
+	d.tree = BuildKDTree(all)
+	d.extra = nil
+	return true
+}
+
+// Nearest returns the index and distance of the closest point, or
+// (-1, +Inf) when empty. Ties resolve to the lowest insertion index.
+func (d *DynamicIndex) Nearest(q Point) (int, float64) {
+	bestIdx, bestD := d.tree.Nearest(q)
+	for k, p := range d.extra {
+		if dist := q.Dist(p); dist < bestD {
+			bestIdx, bestD = d.tree.Len()+k, dist
+		}
+	}
+	if bestIdx < 0 {
+		return -1, math.Inf(1)
+	}
+	return bestIdx, bestD
+}
+
+// Points returns the indexed points in insertion order.
+func (d *DynamicIndex) Points() []Point { return d.snapshot() }
+
+func (d *DynamicIndex) snapshot() []Point {
+	out := make([]Point, 0, d.Len())
+	out = append(out, d.tree.pts...)
+	out = append(out, d.extra...)
+	return out
+}
+
+func (d *DynamicIndex) rebuild() {
+	d.tree = BuildKDTree(d.snapshot())
+	d.extra = nil
+}

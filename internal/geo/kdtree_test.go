@@ -1,0 +1,169 @@
+package geo
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func randomPts(seed uint64, n int) []Point {
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Pt(rng.Float64()*5000, rng.Float64()*5000)
+	}
+	return pts
+}
+
+func TestKDTreeEmpty(t *testing.T) {
+	tr := BuildKDTree(nil)
+	if tr.Len() != 0 {
+		t.Errorf("Len=%d", tr.Len())
+	}
+	idx, d := tr.Nearest(Pt(1, 1))
+	if idx != -1 || !math.IsInf(d, 1) {
+		t.Errorf("empty nearest: %d, %v", idx, d)
+	}
+}
+
+func TestKDTreeMatchesLinearNearest(t *testing.T) {
+	pts := randomPts(3, 300)
+	tr := BuildKDTree(pts)
+	queries := randomPts(4, 500)
+	for _, q := range queries {
+		gi, gd := Nearest(q, pts)
+		ti, td := tr.Nearest(q)
+		if gi != ti || math.Abs(gd-td) > 1e-9 {
+			t.Fatalf("query %v: linear (%d, %v) vs tree (%d, %v)", q, gi, gd, ti, td)
+		}
+	}
+}
+
+func TestKDTreeDuplicatePointsTieToLowestIndex(t *testing.T) {
+	pts := []Point{Pt(10, 10), Pt(5, 5), Pt(10, 10), Pt(5, 5)}
+	tr := BuildKDTree(pts)
+	idx, d := tr.Nearest(Pt(10, 10))
+	if idx != 0 || d != 0 {
+		t.Errorf("got (%d, %v), want (0, 0)", idx, d)
+	}
+	idx, _ = tr.Nearest(Pt(5.4, 5))
+	if idx != 1 {
+		t.Errorf("got %d, want 1", idx)
+	}
+}
+
+func TestKDTreeDoesNotAliasInput(t *testing.T) {
+	pts := []Point{Pt(1, 1), Pt(2, 2)}
+	tr := BuildKDTree(pts)
+	pts[0] = Pt(999, 999)
+	if tr.At(0) == Pt(999, 999) {
+		t.Error("tree aliases caller slice")
+	}
+}
+
+func TestDynamicIndexInsertAndQuery(t *testing.T) {
+	d := NewDynamicIndex(nil)
+	if idx, dist := d.Nearest(Pt(0, 0)); idx != -1 || !math.IsInf(dist, 1) {
+		t.Error("empty index should report no neighbour")
+	}
+	pts := randomPts(7, 400)
+	for i, p := range pts {
+		if got := d.Insert(p); got != i {
+			t.Fatalf("insert %d returned index %d", i, got)
+		}
+	}
+	if d.Len() != len(pts) {
+		t.Fatalf("Len=%d", d.Len())
+	}
+	for i, p := range pts {
+		if d.At(i) != p {
+			t.Fatalf("At(%d) mismatch", i)
+		}
+	}
+	for _, q := range randomPts(8, 300) {
+		gi, gd := Nearest(q, pts)
+		ti, td := d.Nearest(q)
+		if gi != ti || math.Abs(gd-td) > 1e-9 {
+			t.Fatalf("query %v: linear (%d, %v) vs index (%d, %v)", q, gi, gd, ti, td)
+		}
+	}
+}
+
+func TestDynamicIndexRemove(t *testing.T) {
+	pts := randomPts(9, 100)
+	d := NewDynamicIndex(pts)
+	if d.Remove(-1) || d.Remove(100) {
+		t.Error("out-of-range removal should fail")
+	}
+	if !d.Remove(40) {
+		t.Fatal("removal failed")
+	}
+	want := append(append([]Point(nil), pts[:40]...), pts[41:]...)
+	if d.Len() != 99 {
+		t.Fatalf("Len=%d", d.Len())
+	}
+	for _, q := range randomPts(10, 200) {
+		gi, gd := Nearest(q, want)
+		ti, td := d.Nearest(q)
+		if gi != ti || math.Abs(gd-td) > 1e-9 {
+			t.Fatalf("after removal: linear (%d, %v) vs index (%d, %v)", gi, gd, ti, td)
+		}
+	}
+}
+
+func TestDynamicIndexPointsSnapshot(t *testing.T) {
+	d := NewDynamicIndex([]Point{Pt(1, 2)})
+	d.Insert(Pt(3, 4))
+	snap := d.Points()
+	if len(snap) != 2 || snap[0] != Pt(1, 2) || snap[1] != Pt(3, 4) {
+		t.Errorf("snapshot=%v", snap)
+	}
+	snap[0] = Pt(9, 9)
+	if d.At(0) == Pt(9, 9) {
+		t.Error("Points exposes internal state")
+	}
+}
+
+func TestQuickDynamicIndexAgreesWithLinear(t *testing.T) {
+	property := func(raw []uint32, qx, qy uint32) bool {
+		if len(raw) > 80 {
+			raw = raw[:80]
+		}
+		pts := make([]Point, 0, len(raw))
+		d := NewDynamicIndex(nil)
+		for _, r := range raw {
+			p := Pt(float64(r%4000), float64((r>>16)%4000))
+			pts = append(pts, p)
+			d.Insert(p)
+		}
+		q := Pt(float64(qx%4000), float64(qy%4000))
+		gi, gd := Nearest(q, pts)
+		ti, td := d.Nearest(q)
+		if gi < 0 {
+			return ti < 0
+		}
+		return gi == ti && math.Abs(gd-td) < 1e-9
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLinearNearest10k(b *testing.B) {
+	pts := randomPts(11, 10000)
+	q := randomPts(12, 1)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Nearest(q, pts)
+	}
+}
+
+func BenchmarkKDTreeNearest10k(b *testing.B) {
+	tr := BuildKDTree(randomPts(11, 10000))
+	q := randomPts(12, 1)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Nearest(q)
+	}
+}

@@ -1,0 +1,73 @@
+package matrix
+
+// Vector helpers used by the LSTM: weights are matrices, activations are
+// plain []float64 vectors. All functions panic on shape mismatch, matching
+// the package convention (shapes are static in the forecaster).
+
+// Gemv computes dst = w·x (+0). dst must have length w.Rows and x length
+// w.Cols; dst must not alias x.
+func Gemv(dst []float64, w *Matrix, x []float64) {
+	shapeCheck(len(dst) == w.Rows && len(x) == w.Cols,
+		"gemv dst=%d x=%d for %dx%d", len(dst), len(x), w.Rows, w.Cols)
+	for i := 0; i < w.Rows; i++ {
+		row := w.Data[i*w.Cols : (i+1)*w.Cols]
+		var sum float64
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		dst[i] = sum
+	}
+}
+
+// GemvAdd computes dst += w·x.
+func GemvAdd(dst []float64, w *Matrix, x []float64) {
+	shapeCheck(len(dst) == w.Rows && len(x) == w.Cols,
+		"gemv-add dst=%d x=%d for %dx%d", len(dst), len(x), w.Rows, w.Cols)
+	for i := 0; i < w.Rows; i++ {
+		row := w.Data[i*w.Cols : (i+1)*w.Cols]
+		var sum float64
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		dst[i] += sum
+	}
+}
+
+// GemvTAdd computes dst += wᵀ·x, i.e. backpropagation of x through w.
+func GemvTAdd(dst []float64, w *Matrix, x []float64) {
+	shapeCheck(len(dst) == w.Cols && len(x) == w.Rows,
+		"gemvT dst=%d x=%d for %dx%d", len(dst), len(x), w.Rows, w.Cols)
+	for i := 0; i < w.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := w.Data[i*w.Cols : (i+1)*w.Cols]
+		for j, v := range row {
+			dst[j] += v * xi
+		}
+	}
+}
+
+// AddOuter accumulates w += u·vᵀ (the gradient of a linear layer).
+func AddOuter(w *Matrix, u, v []float64) {
+	shapeCheck(len(u) == w.Rows && len(v) == w.Cols,
+		"outer u=%d v=%d for %dx%d", len(u), len(v), w.Rows, w.Cols)
+	for i, ui := range u {
+		if ui == 0 {
+			continue
+		}
+		row := w.Data[i*w.Cols : (i+1)*w.Cols]
+		for j, vj := range v {
+			row[j] += ui * vj
+		}
+	}
+}
+
+// AddVec computes dst += src for plain vectors.
+func AddVec(dst, src []float64) {
+	shapeCheck(len(dst) == len(src), "addvec %d += %d", len(dst), len(src))
+	for i, v := range src {
+		dst[i] += v
+	}
+}

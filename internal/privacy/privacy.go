@@ -1,0 +1,121 @@
+// Package privacy implements the location-privacy hooks the paper's
+// system model calls for ("additional security features can be introduced
+// such as hashing/anonymizing the user information or obfuscation with
+// location-wise differential privacy"): planar-Laplace geo-
+// indistinguishability noise for destinations (Andrés et al., CCS 2013)
+// and keyed one-way pseudonymisation for user identifiers.
+package privacy
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/geo"
+)
+
+// Obfuscator adds planar-Laplace noise achieving epsilon-geo-
+// indistinguishability: two locations at distance d are statistically
+// indistinguishable up to a factor exp(epsilon·d).
+type Obfuscator struct {
+	epsilon float64 // per-metre privacy budget
+	rng     *rand.Rand
+}
+
+// NewObfuscator validates epsilon (in 1/metres; e.g. ln(4)/200 makes
+// points 200 m apart distinguishable by at most a factor 4).
+func NewObfuscator(epsilon float64, seed uint64) (*Obfuscator, error) {
+	if epsilon <= 0 || math.IsNaN(epsilon) || math.IsInf(epsilon, 0) {
+		return nil, fmt.Errorf("privacy: epsilon %v must be positive and finite", epsilon)
+	}
+	return &Obfuscator{
+		epsilon: epsilon,
+		rng:     rand.New(rand.NewPCG(seed, seed^0x85ebca6b)),
+	}, nil
+}
+
+// Epsilon returns the privacy budget per metre.
+func (o *Obfuscator) Epsilon() float64 { return o.epsilon }
+
+// Obfuscate returns p displaced by planar-Laplace noise: the angle is
+// uniform and the radius follows the Gamma(2, 1/epsilon) distribution,
+// sampled via the inverse CDF using the principal branch of the Lambert
+// W function.
+func (o *Obfuscator) Obfuscate(p geo.Point) geo.Point {
+	theta := o.rng.Float64() * 2 * math.Pi
+	r := o.sampleRadius()
+	return geo.Pt(p.X+r*math.Cos(theta), p.Y+r*math.Sin(theta))
+}
+
+// sampleRadius inverts the planar-Laplace radial CDF
+// F(r) = 1 − (1 + εr)·exp(−εr) at a uniform quantile.
+func (o *Obfuscator) sampleRadius() float64 {
+	u := o.rng.Float64()
+	// r = −(W₋₁((u−1)/e) + 1)/ε, with W₋₁ the lower Lambert branch.
+	w := lambertWm1((u - 1) / math.E)
+	return -(w + 1) / o.epsilon
+}
+
+// ExpectedDisplacement returns the mean noise radius, 2/epsilon.
+func (o *Obfuscator) ExpectedDisplacement() float64 { return 2 / o.epsilon }
+
+// lambertWm1 evaluates the W₋₁ branch of the Lambert W function on
+// [-1/e, 0) by Halley iteration.
+func lambertWm1(x float64) float64 {
+	if x >= 0 || x < -1/math.E {
+		return math.NaN()
+	}
+	// Initial guess: series around the branch point for x near -1/e,
+	// log-based elsewhere.
+	var w float64
+	if x > -0.25 {
+		l1 := math.Log(-x)
+		l2 := math.Log(-l1)
+		w = l1 - l2 + l2/l1
+	} else {
+		p := -math.Sqrt(2 * (1 + math.E*x))
+		w = -1 + p - p*p/3
+	}
+	for i := 0; i < 64; i++ {
+		ew := math.Exp(w)
+		f := w*ew - x
+		if math.Abs(f) < 1e-14*(1+math.Abs(x)) {
+			break
+		}
+		denom := ew*(w+1) - (w+2)*f/(2*w+2)
+		step := f / denom
+		w -= step
+		if math.Abs(step) < 1e-15*(1+math.Abs(w)) {
+			break
+		}
+	}
+	return w
+}
+
+// Pseudonymizer replaces user identifiers with keyed HMAC-SHA256
+// pseudonyms: stable within a deployment (so repeat behaviour can still
+// be modelled) but not invertible without the key.
+type Pseudonymizer struct {
+	key []byte
+}
+
+// NewPseudonymizer requires a non-empty secret key.
+func NewPseudonymizer(key []byte) (*Pseudonymizer, error) {
+	if len(key) == 0 {
+		return nil, fmt.Errorf("privacy: empty pseudonymisation key")
+	}
+	return &Pseudonymizer{key: append([]byte(nil), key...)}, nil
+}
+
+// UserToken returns a stable 16-hex-character pseudonym for userID.
+func (p *Pseudonymizer) UserToken(userID int64) string {
+	mac := hmac.New(sha256.New, p.key)
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(userID))
+	mac.Write(buf[:])
+	return hex.EncodeToString(mac.Sum(nil)[:8])
+}

@@ -1,0 +1,122 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestNewObfuscatorValidation(t *testing.T) {
+	for _, eps := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewObfuscator(eps, 1); err == nil {
+			t.Errorf("epsilon %v should error", eps)
+		}
+	}
+}
+
+func TestLambertWm1(t *testing.T) {
+	// W₋₁ satisfies W·e^W = x on [-1/e, 0).
+	for _, x := range []float64{-0.3678, -0.3, -0.2, -0.1, -0.01, -0.001} {
+		w := lambertWm1(x)
+		if math.IsNaN(w) {
+			t.Fatalf("W(%v) is NaN", x)
+		}
+		if got := w * math.Exp(w); math.Abs(got-x) > 1e-9*(1+math.Abs(x)) {
+			t.Errorf("W(%v)=%v: w·e^w=%v", x, w, got)
+		}
+		if w > -1 {
+			t.Errorf("W₋₁(%v)=%v must be <= -1", x, w)
+		}
+	}
+	if !math.IsNaN(lambertWm1(0.5)) || !math.IsNaN(lambertWm1(-1)) {
+		t.Error("out-of-domain inputs should be NaN")
+	}
+}
+
+func TestObfuscateDisplacementMoments(t *testing.T) {
+	// Mean displacement of planar Laplace is 2/epsilon.
+	eps := math.Log(4) / 200 // distinguishability factor 4 at 200 m
+	o, err := NewObfuscator(eps, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin := geo.Pt(1000, 1000)
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += origin.Dist(o.Obfuscate(origin))
+	}
+	mean := sum / n
+	want := o.ExpectedDisplacement()
+	if math.Abs(mean-want) > 0.03*want {
+		t.Errorf("mean displacement %v, want ~%v", mean, want)
+	}
+}
+
+func TestObfuscateIsotropy(t *testing.T) {
+	o, err := NewObfuscator(0.01, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin := geo.Pt(0, 0)
+	quad := [4]int{}
+	const n = 8000
+	for i := 0; i < n; i++ {
+		p := o.Obfuscate(origin)
+		q := 0
+		if p.X >= 0 {
+			q |= 1
+		}
+		if p.Y >= 0 {
+			q |= 2
+		}
+		quad[q]++
+	}
+	for q, c := range quad {
+		frac := float64(c) / n
+		if math.Abs(frac-0.25) > 0.03 {
+			t.Errorf("quadrant %d frequency %v, want ~0.25", q, frac)
+		}
+	}
+}
+
+func TestObfuscateDeterministicBySeed(t *testing.T) {
+	mk := func() geo.Point {
+		o, err := NewObfuscator(0.02, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o.Obfuscate(geo.Pt(5, 5))
+	}
+	if mk() != mk() {
+		t.Error("same seed should reproduce noise")
+	}
+}
+
+func TestPseudonymizer(t *testing.T) {
+	if _, err := NewPseudonymizer(nil); err == nil {
+		t.Error("empty key should error")
+	}
+	p, err := NewPseudonymizer([]byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.UserToken(42)
+	if len(a) != 16 {
+		t.Errorf("token length %d, want 16", len(a))
+	}
+	if a != p.UserToken(42) {
+		t.Error("tokens must be stable")
+	}
+	if a == p.UserToken(43) {
+		t.Error("distinct users must get distinct tokens")
+	}
+	q, err := NewPseudonymizer([]byte("other"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == q.UserToken(42) {
+		t.Error("tokens must depend on the key")
+	}
+}

@@ -1,0 +1,291 @@
+// Package rebalance implements the static bike-rebalancing substrate the
+// paper assumes ("we assume that the reserves of E-bikes are balanced ...
+// by executing the procedures in [9]-[11]"): a truck with finite capacity
+// moves bikes from surplus stations to deficit stations, visiting them in
+// a travel-efficient order. The solver follows the greedy transport
+// construction used for the static rebalancing problem (Chemla, Meunier,
+// Wolfler Calvo 2013), with a 2-opt-improved tour.
+package rebalance
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/routing"
+)
+
+// Station is one parking location's inventory state.
+type Station struct {
+	Loc geo.Point `json:"loc"`
+	// Bikes currently parked.
+	Bikes int `json:"bikes"`
+	// Target is the desired inventory after rebalancing.
+	Target int `json:"target"`
+}
+
+// Surplus returns bikes - target (positive: pickup site, negative:
+// drop-off site).
+func (s Station) Surplus() int { return s.Bikes - s.Target }
+
+// Move is one truck action at a station.
+type Move struct {
+	Station int `json:"station"`
+	// Delta is the change to the station's inventory: negative when the
+	// truck picks up bikes, positive when it drops off.
+	Delta int `json:"delta"`
+}
+
+// Plan is a rebalancing route.
+type Plan struct {
+	// Moves in visiting order.
+	Moves []Move `json:"moves"`
+	// Distance is the truck's travel distance in metres (open route from
+	// the first stop to the last).
+	Distance float64 `json:"distance"`
+	// Unmet counts target deficit that could not be satisfied (fleet
+	// shortage).
+	Unmet int `json:"unmet"`
+}
+
+// Errors returned by the solver.
+var (
+	// ErrNoStations is returned for an empty instance.
+	ErrNoStations = errors.New("rebalance: no stations")
+	// ErrCapacity is returned for a non-positive truck capacity.
+	ErrCapacity = errors.New("rebalance: truck capacity must be positive")
+)
+
+// Solve computes a rebalancing plan: a visiting order over all imbalanced
+// stations plus pickup/drop-off quantities that respect the truck
+// capacity and never drive a station negative. Targets in aggregate may
+// exceed supply; the shortfall is reported in Plan.Unmet.
+func Solve(stations []Station, truckCapacity int) (*Plan, error) {
+	if len(stations) == 0 {
+		return nil, ErrNoStations
+	}
+	if truckCapacity <= 0 {
+		return nil, fmt.Errorf("%w, got %d", ErrCapacity, truckCapacity)
+	}
+	for i, s := range stations {
+		if s.Bikes < 0 || s.Target < 0 {
+			return nil, fmt.Errorf("rebalance: station %d has negative inventory/target", i)
+		}
+	}
+
+	// Imbalanced stations only.
+	var idx []int
+	for i, s := range stations {
+		if s.Surplus() != 0 {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		return &Plan{}, nil
+	}
+
+	// Tour the imbalanced stations efficiently (closed tour as produced
+	// by the TSP, opened at its longest edge).
+	pts := make([]geo.Point, len(idx))
+	for k, i := range idx {
+		pts[k] = stations[i].Loc
+	}
+	order, _, err := routing.Solve(pts)
+	if err != nil {
+		return nil, fmt.Errorf("rebalance: route: %w", err)
+	}
+	order = openTour(pts, order)
+
+	// Greedy sweep with inventory-aware passes: drive the route forward
+	// repeatedly until no useful transfer remains (a single pass cannot
+	// always satisfy deficits that precede surpluses).
+	surplus := make([]int, len(idx))
+	totalDeficit := 0
+	for k, i := range idx {
+		surplus[k] = stations[i].Surplus()
+		if surplus[k] < 0 {
+			totalDeficit += -surplus[k]
+		}
+	}
+	var plan Plan
+	load := 0
+	// Pickups beyond the aggregate deficit would strand bikes on the
+	// truck; neededPickups caps them so the truck always ends empty.
+	neededPickups := totalDeficit
+	for pass := 0; pass < len(idx)+1; pass++ {
+		changed := false
+		for _, k := range order {
+			switch {
+			case surplus[k] > 0 && load < truckCapacity && neededPickups > 0:
+				take := surplus[k]
+				if take > truckCapacity-load {
+					take = truckCapacity - load
+				}
+				if take > neededPickups {
+					take = neededPickups
+				}
+				load += take
+				neededPickups -= take
+				surplus[k] -= take
+				plan.Moves = append(plan.Moves, Move{Station: idx[k], Delta: -take})
+				changed = true
+			case surplus[k] < 0 && load > 0:
+				give := -surplus[k]
+				if give > load {
+					give = load
+				}
+				load -= give
+				surplus[k] += give
+				plan.Moves = append(plan.Moves, Move{Station: idx[k], Delta: give})
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Whatever deficit remains is unmet demand.
+	for _, s := range surplus {
+		if s < 0 {
+			plan.Unmet += -s
+		}
+	}
+	plan.Distance = routeDistance(stations, plan.Moves)
+	plan.Moves = coalesce(plan.Moves)
+	return &plan, nil
+}
+
+// Apply executes a plan against a copy of stations and returns the
+// resulting inventories. It errors if a move would drive a station
+// negative.
+func Apply(stations []Station, plan *Plan) ([]Station, error) {
+	out := append([]Station(nil), stations...)
+	for i, m := range plan.Moves {
+		if m.Station < 0 || m.Station >= len(out) {
+			return nil, fmt.Errorf("rebalance: move %d targets station %d out of range", i, m.Station)
+		}
+		out[m.Station].Bikes += m.Delta
+		if out[m.Station].Bikes < 0 {
+			return nil, fmt.Errorf("rebalance: move %d drives station %d negative", i, m.Station)
+		}
+	}
+	return out, nil
+}
+
+// TotalImbalance sums |surplus| across stations — the quantity a perfect
+// rebalancing run drives to the unmet residual.
+func TotalImbalance(stations []Station) int {
+	var total int
+	for _, s := range stations {
+		total += abs(s.Surplus())
+	}
+	return total
+}
+
+// openTour removes the longest edge from a closed tour, producing the
+// cheapest open traversal of the same cycle.
+func openTour(pts []geo.Point, order []int) []int {
+	n := len(order)
+	if n < 3 {
+		return append([]int(nil), order...)
+	}
+	worst, worstLen := 0, -1.0
+	for k := 0; k < n; k++ {
+		a, b := pts[order[k]], pts[order[(k+1)%n]]
+		if d := a.Dist(b); d > worstLen {
+			worst, worstLen = k, d
+		}
+	}
+	out := make([]int, 0, n)
+	for k := 1; k <= n; k++ {
+		out = append(out, order[(worst+k)%n])
+	}
+	return out
+}
+
+// routeDistance sums the travel between consecutive distinct stations in
+// the move sequence.
+func routeDistance(stations []Station, moves []Move) float64 {
+	var dist float64
+	prev := -1
+	for _, m := range moves {
+		if prev >= 0 && m.Station != prev {
+			dist += stations[prev].Loc.Dist(stations[m.Station].Loc)
+		}
+		prev = m.Station
+	}
+	return dist
+}
+
+// coalesce merges consecutive moves at the same station.
+func coalesce(moves []Move) []Move {
+	var out []Move
+	for _, m := range moves {
+		if n := len(out); n > 0 && out[n-1].Station == m.Station {
+			out[n-1].Delta += m.Delta
+			if out[n-1].Delta == 0 {
+				out = out[:n-1]
+			}
+			continue
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// ProportionalTargets assigns inventory targets proportional to demand
+// weights, preserving the current fleet total. Stations with zero weight
+// get zero target; rounding remainders go to the heaviest stations.
+func ProportionalTargets(stations []Station, weights []float64) ([]Station, error) {
+	if len(stations) != len(weights) {
+		return nil, fmt.Errorf("rebalance: %d stations but %d weights", len(stations), len(weights))
+	}
+	var fleet int
+	var totalW float64
+	for i, s := range stations {
+		fleet += s.Bikes
+		if weights[i] < 0 || math.IsNaN(weights[i]) {
+			return nil, fmt.Errorf("rebalance: weight %d is %v", i, weights[i])
+		}
+		totalW += weights[i]
+	}
+	out := append([]Station(nil), stations...)
+	if totalW == 0 {
+		for i := range out {
+			out[i].Target = out[i].Bikes
+		}
+		return out, nil
+	}
+	type frac struct {
+		idx  int
+		frac float64
+	}
+	assigned := 0
+	fracs := make([]frac, len(out))
+	for i := range out {
+		exact := float64(fleet) * weights[i] / totalW
+		out[i].Target = int(exact)
+		assigned += out[i].Target
+		fracs[i] = frac{idx: i, frac: exact - float64(out[i].Target)}
+	}
+	sort.Slice(fracs, func(a, b int) bool {
+		if fracs[a].frac != fracs[b].frac {
+			return fracs[a].frac > fracs[b].frac
+		}
+		return fracs[a].idx < fracs[b].idx
+	})
+	for k := 0; assigned < fleet; k++ {
+		out[fracs[k%len(fracs)].idx].Target++
+		assigned++
+	}
+	return out, nil
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,238 @@
+package rebalance
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/stats"
+)
+
+func line(bikes, targets []int) []Station {
+	out := make([]Station, len(bikes))
+	for i := range bikes {
+		out[i] = Station{Loc: geo.Pt(float64(i)*500, 0), Bikes: bikes[i], Target: targets[i]}
+	}
+	return out
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, err := Solve(nil, 5); !errors.Is(err, ErrNoStations) {
+		t.Errorf("empty: %v", err)
+	}
+	st := line([]int{1}, []int{1})
+	if _, err := Solve(st, 0); !errors.Is(err, ErrCapacity) {
+		t.Errorf("capacity: %v", err)
+	}
+	if _, err := Solve(line([]int{-1}, []int{0}), 5); err == nil {
+		t.Error("negative inventory should error")
+	}
+}
+
+func TestSolveBalancedNoOp(t *testing.T) {
+	plan, err := Solve(line([]int{3, 3}, []int{3, 3}), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) != 0 || plan.Unmet != 0 || plan.Distance != 0 {
+		t.Errorf("balanced instance should be a no-op: %+v", plan)
+	}
+}
+
+func TestSolveSimpleTransfer(t *testing.T) {
+	stations := line([]int{10, 0}, []int{5, 5})
+	plan, err := Solve(stations, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Apply(stations, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range after {
+		if s.Bikes != s.Target {
+			t.Errorf("station %d: %d bikes, target %d", i, s.Bikes, s.Target)
+		}
+	}
+	if plan.Unmet != 0 {
+		t.Errorf("unmet=%d", plan.Unmet)
+	}
+}
+
+func TestSolveCapacityForcesMultiplePasses(t *testing.T) {
+	// Truck capacity 2 with a surplus of 6 to move.
+	stations := line([]int{6, 0}, []int{0, 6})
+	plan, err := Solve(stations, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Apply(stations, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after[1].Bikes != 6 || after[0].Bikes != 0 {
+		t.Errorf("after: %+v", after)
+	}
+}
+
+func TestSolveDeficitBeforeSurplus(t *testing.T) {
+	// The deficit station precedes the surplus in space; the multi-pass
+	// sweep must still satisfy it.
+	stations := line([]int{0, 8}, []int{4, 4})
+	plan, err := Solve(stations, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Apply(stations, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after[0].Bikes != 4 || after[1].Bikes != 4 {
+		t.Errorf("after: %+v", after)
+	}
+}
+
+func TestSolveFleetShortage(t *testing.T) {
+	stations := line([]int{1, 0}, []int{0, 5})
+	plan, err := Solve(stations, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Unmet != 4 {
+		t.Errorf("unmet=%d, want 4", plan.Unmet)
+	}
+}
+
+func TestSolveConservesBikes(t *testing.T) {
+	rng := stats.NewRNG(5)
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.IntN(10)
+		stations := make([]Station, n)
+		total := 0
+		for i := range stations {
+			b := rng.IntN(10)
+			stations[i] = Station{
+				Loc:    geo.Pt(rng.Float64()*3000, rng.Float64()*3000),
+				Bikes:  b,
+				Target: rng.IntN(10),
+			}
+			total += b
+		}
+		plan, err := Solve(stations, 1+rng.IntN(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The truck must end empty: sum of deltas is zero.
+		var sum int
+		for _, m := range plan.Moves {
+			sum += m.Delta
+		}
+		if sum != 0 {
+			t.Fatalf("trial %d: truck ends with %d bikes aboard", trial, -sum)
+		}
+		after, err := Apply(stations, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		afterTotal := 0
+		for _, s := range after {
+			afterTotal += s.Bikes
+		}
+		if afterTotal != total {
+			t.Fatalf("trial %d: fleet %d -> %d", trial, total, afterTotal)
+		}
+		// Residual imbalance equals reported unmet on the deficit side.
+		var deficit int
+		for _, s := range after {
+			if d := s.Target - s.Bikes; d > 0 {
+				deficit += d
+			}
+		}
+		if deficit != plan.Unmet {
+			t.Fatalf("trial %d: residual deficit %d != unmet %d", trial, deficit, plan.Unmet)
+		}
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	stations := line([]int{1, 1}, []int{1, 1})
+	if _, err := Apply(stations, &Plan{Moves: []Move{{Station: 9, Delta: 1}}}); err == nil {
+		t.Error("out-of-range move should error")
+	}
+	if _, err := Apply(stations, &Plan{Moves: []Move{{Station: 0, Delta: -5}}}); err == nil {
+		t.Error("negative-driving move should error")
+	}
+}
+
+func TestTotalImbalance(t *testing.T) {
+	if got := TotalImbalance(line([]int{5, 0}, []int{2, 3})); got != 6 {
+		t.Errorf("imbalance=%d, want 6", got)
+	}
+}
+
+func TestProportionalTargets(t *testing.T) {
+	stations := line([]int{4, 4, 2}, []int{0, 0, 0})
+	out, err := ProportionalTargets(stations, []float64{1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range out {
+		total += s.Target
+	}
+	if total != 10 {
+		t.Errorf("targets sum to %d, want fleet size 10", total)
+	}
+	if out[2].Target <= out[0].Target {
+		t.Errorf("heavier station should get more: %+v", out)
+	}
+	if _, err := ProportionalTargets(stations, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := ProportionalTargets(stations, []float64{1, -1, 1}); err == nil {
+		t.Error("negative weight should error")
+	}
+	zero, err := ProportionalTargets(stations, []float64{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range zero {
+		if s.Target != stations[i].Bikes {
+			t.Error("zero weights should keep current inventory")
+		}
+	}
+}
+
+func TestProportionalThenSolveRoundTrip(t *testing.T) {
+	rng := stats.NewRNG(9)
+	stations := make([]Station, 8)
+	weights := make([]float64, 8)
+	for i := range stations {
+		stations[i] = Station{
+			Loc:   geo.Pt(rng.Float64()*2000, rng.Float64()*2000),
+			Bikes: rng.IntN(12),
+		}
+		weights[i] = rng.Float64() * 5
+	}
+	targeted, err := ProportionalTargets(stations, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Solve(targeted, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Targets preserve the fleet, so everything is satisfiable.
+	if plan.Unmet != 0 {
+		t.Errorf("unmet=%d with fleet-preserving targets", plan.Unmet)
+	}
+	after, err := Apply(targeted, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range after {
+		if s.Bikes != s.Target {
+			t.Errorf("station %d: %d != target %d", i, s.Bikes, s.Target)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+)
+
+func quickPoints(raw []uint32, maxN int) []geo.Point {
+	if len(raw) > maxN {
+		raw = raw[:maxN]
+	}
+	pts := make([]geo.Point, 0, len(raw))
+	for _, r := range raw {
+		pts = append(pts, geo.Pt(float64(r%3000), float64((r>>16)%3000)))
+	}
+	return pts
+}
+
+func isPermutation(order []int, n int) bool {
+	if len(order) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, i := range order {
+		if i < 0 || i >= n || seen[i] {
+			return false
+		}
+		seen[i] = true
+	}
+	return true
+}
+
+func TestQuickNearestNeighborIsPermutation(t *testing.T) {
+	property := func(raw []uint32) bool {
+		pts := quickPoints(raw, 40)
+		if len(pts) == 0 {
+			return true
+		}
+		order, err := NearestNeighbor(pts, 0)
+		if err != nil {
+			return false
+		}
+		return isPermutation(order, len(pts))
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTwoOptNeverWorsens(t *testing.T) {
+	property := func(raw []uint32) bool {
+		pts := quickPoints(raw, 30)
+		if len(pts) < 2 {
+			return true
+		}
+		order, err := NearestNeighbor(pts, 0)
+		if err != nil {
+			return false
+		}
+		before, err := TourLength(pts, order)
+		if err != nil {
+			return false
+		}
+		improved := TwoOpt(pts, order)
+		if !isPermutation(improved, len(pts)) {
+			return false
+		}
+		after, err := TourLength(pts, improved)
+		if err != nil {
+			return false
+		}
+		return after <= before+1e-6
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSolveProducesValidTours(t *testing.T) {
+	property := func(raw []uint32) bool {
+		pts := quickPoints(raw, 20)
+		order, length, err := Solve(pts)
+		if err != nil {
+			return false
+		}
+		if !isPermutation(order, len(pts)) {
+			return false
+		}
+		check, err := TourLength(pts, order)
+		if err != nil {
+			return false
+		}
+		return length >= 0 && check >= length-1e-6 && check <= length+1e-6
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

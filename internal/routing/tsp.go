@@ -1,0 +1,210 @@
+// Package routing solves the operator's charging tour as a Travelling
+// Salesman Problem (Section V-E): after the incentive mechanism aggregates
+// low-energy bikes, the operator traverses the remaining demand sites by
+// the shortest route. Small instances are solved exactly with Held–Karp;
+// larger ones with nearest-neighbour construction plus 2-opt improvement.
+package routing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+)
+
+// ErrTooLarge is returned by HeldKarp beyond its tractable size.
+var ErrTooLarge = errors.New("routing: instance too large for exact solver")
+
+// heldKarpLimit bounds the exact solver (2^n·n² state space).
+const heldKarpLimit = 16
+
+// TourLength returns the closed-tour length visiting pts in the given
+// order and returning to the start. It errors when order is not a
+// permutation of pts' indices.
+func TourLength(pts []geo.Point, order []int) (float64, error) {
+	if len(order) != len(pts) {
+		return 0, fmt.Errorf("routing: order length %d for %d points", len(order), len(pts))
+	}
+	if len(pts) == 0 {
+		return 0, nil
+	}
+	seen := make([]bool, len(pts))
+	for _, i := range order {
+		if i < 0 || i >= len(pts) {
+			return 0, fmt.Errorf("routing: order index %d out of range", i)
+		}
+		if seen[i] {
+			return 0, fmt.Errorf("routing: order visits %d twice", i)
+		}
+		seen[i] = true
+	}
+	var total float64
+	for k := 0; k < len(order); k++ {
+		next := order[(k+1)%len(order)]
+		total += pts[order[k]].Dist(pts[next])
+	}
+	return total, nil
+}
+
+// NearestNeighbor builds a tour starting at index start by repeatedly
+// visiting the closest unvisited point.
+func NearestNeighbor(pts []geo.Point, start int) ([]int, error) {
+	if len(pts) == 0 {
+		return nil, nil
+	}
+	if start < 0 || start >= len(pts) {
+		return nil, fmt.Errorf("routing: start %d out of range [0,%d)", start, len(pts))
+	}
+	order := make([]int, 0, len(pts))
+	visited := make([]bool, len(pts))
+	cur := start
+	order = append(order, cur)
+	visited[cur] = true
+	for len(order) < len(pts) {
+		best, bestD := -1, math.Inf(1)
+		for i := range pts {
+			if visited[i] {
+				continue
+			}
+			if d := pts[cur].Dist2(pts[i]); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		cur = best
+		order = append(order, cur)
+		visited[cur] = true
+	}
+	return order, nil
+}
+
+// TwoOpt improves a tour by repeated segment reversal until no improving
+// move remains. It returns a new slice; the input is untouched.
+func TwoOpt(pts []geo.Point, order []int) []int {
+	n := len(order)
+	tour := append([]int(nil), order...)
+	if n < 4 {
+		return tour
+	}
+	improved := true
+	for improved {
+		improved = false
+		for i := 0; i < n-1; i++ {
+			for j := i + 2; j < n; j++ {
+				// Reversing tour[i+1..j] replaces edges (i,i+1) and
+				// (j,j+1) with (i,j) and (i+1,j+1).
+				a, b := tour[i], tour[i+1]
+				c, d := tour[j], tour[(j+1)%n]
+				if a == d { // full wrap, same edge
+					continue
+				}
+				before := pts[a].Dist(pts[b]) + pts[c].Dist(pts[d])
+				after := pts[a].Dist(pts[c]) + pts[b].Dist(pts[d])
+				if after < before-1e-9 {
+					for lo, hi := i+1, j; lo < hi; lo, hi = lo+1, hi-1 {
+						tour[lo], tour[hi] = tour[hi], tour[lo]
+					}
+					improved = true
+				}
+			}
+		}
+	}
+	return tour
+}
+
+// HeldKarp solves the TSP exactly by dynamic programming over subsets.
+// It errors for more than heldKarpLimit points.
+func HeldKarp(pts []geo.Point) ([]int, float64, error) {
+	n := len(pts)
+	if n > heldKarpLimit {
+		return nil, 0, fmt.Errorf("%w: %d points (limit %d)", ErrTooLarge, n, heldKarpLimit)
+	}
+	switch n {
+	case 0:
+		return nil, 0, nil
+	case 1:
+		return []int{0}, 0, nil
+	case 2:
+		return []int{0, 1}, 2 * pts[0].Dist(pts[1]), nil
+	}
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := range dist[i] {
+			dist[i][j] = pts[i].Dist(pts[j])
+		}
+	}
+	size := 1 << (n - 1) // subsets of {1..n-1}
+	dp := make([][]float64, size)
+	parent := make([][]int16, size)
+	for s := range dp {
+		dp[s] = make([]float64, n)
+		parent[s] = make([]int16, n)
+		for j := range dp[s] {
+			dp[s][j] = math.Inf(1)
+			parent[s][j] = -1
+		}
+	}
+	for j := 1; j < n; j++ {
+		dp[1<<(j-1)][j] = dist[0][j]
+		parent[1<<(j-1)][j] = 0
+	}
+	for s := 1; s < size; s++ {
+		for j := 1; j < n; j++ {
+			bit := 1 << (j - 1)
+			if s&bit == 0 || math.IsInf(dp[s][j], 1) {
+				continue
+			}
+			for k := 1; k < n; k++ {
+				kbit := 1 << (k - 1)
+				if s&kbit != 0 {
+					continue
+				}
+				ns := s | kbit
+				if cand := dp[s][j] + dist[j][k]; cand < dp[ns][k] {
+					dp[ns][k] = cand
+					parent[ns][k] = int16(j)
+				}
+			}
+		}
+	}
+	full := size - 1
+	best, bestJ := math.Inf(1), -1
+	for j := 1; j < n; j++ {
+		if cand := dp[full][j] + dist[j][0]; cand < best {
+			best, bestJ = cand, j
+		}
+	}
+	order := make([]int, 0, n)
+	s, j := full, bestJ
+	for j != 0 {
+		order = append(order, j)
+		pj := int(parent[s][j])
+		s &^= 1 << (j - 1)
+		j = pj
+	}
+	order = append(order, 0)
+	// Reverse into start-at-0 forward order.
+	for lo, hi := 0, len(order)-1; lo < hi; lo, hi = lo+1, hi-1 {
+		order[lo], order[hi] = order[hi], order[lo]
+	}
+	return order, best, nil
+}
+
+// Solve returns a good tour: exact for small instances, NN + 2-opt
+// otherwise.
+func Solve(pts []geo.Point) ([]int, float64, error) {
+	if len(pts) <= heldKarpLimit {
+		return HeldKarp(pts)
+	}
+	order, err := NearestNeighbor(pts, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	order = TwoOpt(pts, order)
+	length, err := TourLength(pts, order)
+	if err != nil {
+		return nil, 0, err
+	}
+	return order, length, nil
+}

@@ -1,0 +1,189 @@
+package routing
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/stats"
+)
+
+func TestTourLength(t *testing.T) {
+	square := []geo.Point{geo.Pt(0, 0), geo.Pt(10, 0), geo.Pt(10, 10), geo.Pt(0, 10)}
+	tests := []struct {
+		name    string
+		pts     []geo.Point
+		order   []int
+		want    float64
+		wantErr bool
+	}{
+		{"empty", nil, nil, 0, false},
+		{"square perimeter", square, []int{0, 1, 2, 3}, 40, false},
+		{"square crossed", square, []int{0, 2, 1, 3}, 20 + 2*10*math.Sqrt2, false},
+		{"wrong length", square, []int{0, 1}, 0, true},
+		{"repeat", square, []int{0, 1, 1, 3}, 0, true},
+		{"out of range", square, []int{0, 1, 2, 9}, 0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := TourLength(tt.pts, tt.order)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err=%v, wantErr=%v", err, tt.wantErr)
+			}
+			if err == nil && math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("length=%v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNearestNeighbor(t *testing.T) {
+	pts := []geo.Point{geo.Pt(0, 0), geo.Pt(100, 0), geo.Pt(10, 0), geo.Pt(50, 0)}
+	order, err := NearestNeighbor(pts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 2, 3, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order=%v, want %v", order, want)
+		}
+	}
+	if _, err := NearestNeighbor(pts, 9); err == nil {
+		t.Error("bad start should error")
+	}
+	empty, err := NearestNeighbor(nil, 0)
+	if err != nil || empty != nil {
+		t.Errorf("empty input: %v, %v", empty, err)
+	}
+}
+
+func TestTwoOptImproves(t *testing.T) {
+	// A deliberately crossed square tour must be uncrossed to perimeter.
+	square := []geo.Point{geo.Pt(0, 0), geo.Pt(10, 0), geo.Pt(10, 10), geo.Pt(0, 10)}
+	crossed := []int{0, 2, 1, 3}
+	improved := TwoOpt(square, crossed)
+	got, err := TourLength(square, improved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-40) > 1e-9 {
+		t.Errorf("2-opt length=%v, want 40", got)
+	}
+	// Input untouched.
+	if crossed[1] != 2 {
+		t.Error("TwoOpt mutated input")
+	}
+}
+
+func TestTwoOptSmallInputs(t *testing.T) {
+	pts := []geo.Point{geo.Pt(0, 0), geo.Pt(1, 0), geo.Pt(2, 0)}
+	order := []int{2, 0, 1}
+	got := TwoOpt(pts, order)
+	if len(got) != 3 {
+		t.Errorf("small tour mangled: %v", got)
+	}
+}
+
+func TestHeldKarpKnownInstance(t *testing.T) {
+	// Unit square plus centre point: optimal tour is perimeter + detour
+	// through centre... simplest check: 4-point square = 40.
+	square := []geo.Point{geo.Pt(0, 0), geo.Pt(10, 0), geo.Pt(10, 10), geo.Pt(0, 10)}
+	order, length, err := HeldKarp(square)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(length-40) > 1e-9 {
+		t.Errorf("length=%v, want 40", length)
+	}
+	check, err := TourLength(square, order)
+	if err != nil {
+		t.Fatalf("returned order invalid: %v", err)
+	}
+	if math.Abs(check-length) > 1e-9 {
+		t.Errorf("reported %v but order gives %v", length, check)
+	}
+}
+
+func TestHeldKarpTrivial(t *testing.T) {
+	if order, l, err := HeldKarp(nil); err != nil || l != 0 || order != nil {
+		t.Errorf("empty: %v %v %v", order, l, err)
+	}
+	if order, l, err := HeldKarp([]geo.Point{geo.Pt(1, 1)}); err != nil || l != 0 || len(order) != 1 {
+		t.Errorf("single: %v %v %v", order, l, err)
+	}
+	two := []geo.Point{geo.Pt(0, 0), geo.Pt(3, 4)}
+	if _, l, err := HeldKarp(two); err != nil || math.Abs(l-10) > 1e-9 {
+		t.Errorf("pair: %v %v", l, err)
+	}
+}
+
+func TestHeldKarpTooLarge(t *testing.T) {
+	pts := make([]geo.Point, 17)
+	if _, _, err := HeldKarp(pts); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("want ErrTooLarge, got %v", err)
+	}
+}
+
+func TestHeuristicNearExactOnRandomInstances(t *testing.T) {
+	rng := stats.NewRNG(13)
+	for trial := 0; trial < 10; trial++ {
+		n := 6 + rng.IntN(6)
+		pts := stats.SamplePoints(rng, stats.UniformDist{Box: geo.Square(geo.Pt(0, 0), 1000)}, n)
+		_, exact, err := HeldKarp(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nn, err := NearestNeighbor(pts, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		improved := TwoOpt(pts, nn)
+		heur, err := TourLength(pts, improved)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if heur < exact-1e-6 {
+			t.Fatalf("trial %d: heuristic %v below exact %v", trial, heur, exact)
+		}
+		if heur > 1.2*exact {
+			t.Errorf("trial %d: heuristic %v vs exact %v (> 20%% gap)", trial, heur, exact)
+		}
+	}
+}
+
+func TestSolveDispatch(t *testing.T) {
+	// Small: exact path. Large: heuristic path. Both must return valid
+	// tours with consistent lengths.
+	rng := stats.NewRNG(17)
+	for _, n := range []int{0, 1, 5, 12, 30, 60} {
+		pts := stats.SamplePoints(rng, stats.UniformDist{Box: geo.Square(geo.Pt(0, 0), 2000)}, n)
+		order, length, err := Solve(pts)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		check, err := TourLength(pts, order)
+		if err != nil {
+			t.Fatalf("n=%d: invalid order %v", n, err)
+		}
+		if math.Abs(check-length) > 1e-6 {
+			t.Errorf("n=%d: reported %v but order gives %v", n, length, check)
+		}
+	}
+}
+
+func TestSolveDeterministic(t *testing.T) {
+	pts := stats.SamplePoints(stats.NewRNG(23), stats.UniformDist{Box: geo.Square(geo.Pt(0, 0), 500)}, 25)
+	_, l1, err := Solve(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, l2, err := Solve(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 != l2 {
+		t.Errorf("non-deterministic: %v vs %v", l1, l2)
+	}
+}

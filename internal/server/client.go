@@ -1,0 +1,92 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/geo"
+)
+
+// Client is a typed HTTP client for the E-Sharing API.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient builds a client against baseURL (e.g. "http://localhost:8080").
+// A nil httpClient uses http.DefaultClient.
+func NewClient(baseURL string, httpClient *http.Client) (*Client, error) {
+	if baseURL == "" {
+		return nil, fmt.Errorf("server: empty base URL")
+	}
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: baseURL, http: httpClient}, nil
+}
+
+// Place submits a trip destination and returns the parking decision.
+func (c *Client) Place(ctx context.Context, dest geo.Point) (PlaceResponse, error) {
+	var out PlaceResponse
+	err := c.do(ctx, http.MethodPost, "/v1/requests", PlaceRequest{Dest: dest}, &out)
+	return out, err
+}
+
+// Stations fetches the established parking locations.
+func (c *Client) Stations(ctx context.Context) ([]geo.Point, error) {
+	var out StationsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/stations", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Stations, nil
+}
+
+// Stats fetches backend counters.
+func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
+	var out StatsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out)
+	return out, err
+}
+
+// Health checks the backend liveness endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, &map[string]string{})
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var reader io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("encode %s %s: %w", method, path, err)
+		}
+		reader = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, reader)
+	if err != nil {
+		return fmt.Errorf("build %s %s: %w", method, path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("%s %s: %w", method, path, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		var apiErr errorBody
+		if decodeErr := json.NewDecoder(resp.Body).Decode(&apiErr); decodeErr == nil && apiErr.Error != "" {
+			return fmt.Errorf("%s %s: status %d: %s", method, path, resp.StatusCode, apiErr.Error)
+		}
+		return fmt.Errorf("%s %s: status %d", method, path, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("decode %s %s response: %w", method, path, err)
+	}
+	return nil
+}

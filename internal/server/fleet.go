@@ -1,0 +1,147 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/geo"
+	"repro/internal/sim"
+)
+
+// Tier-2 endpoints: when the server is built with a fleet
+// (NewWithFleet), it additionally exposes bike registration, rides and
+// charging rounds.
+//
+//	GET  /v1/bikes           -> fleet snapshot
+//	POST /v1/bikes           -> register a bike
+//	POST /v1/rides           -> ride a bike to a destination
+//	POST /v1/charging-round  -> run one incentivised charging round
+
+// BikeView is a bike over the wire.
+type BikeView struct {
+	ID    int64     `json:"id"`
+	Loc   geo.Point `json:"loc"`
+	Level float64   `json:"level"`
+}
+
+// BikesResponse is the body of GET /v1/bikes.
+type BikesResponse struct {
+	Bikes []BikeView `json:"bikes"`
+	Low   int        `json:"low"`
+}
+
+// RideRequest is the body of POST /v1/rides.
+type RideRequest struct {
+	BikeID int64     `json:"bikeId"`
+	Dest   geo.Point `json:"dest"`
+}
+
+// ChargingRequest is the body of POST /v1/charging-round.
+type ChargingRequest struct {
+	Alpha float64 `json:"alpha"`
+	Seed  uint64  `json:"seed"`
+}
+
+// NewWithFleet builds a Server that also manages a fleet for tier-2
+// operations.
+func NewWithFleet(placer core.OnlinePlacer, fleet *energy.Fleet) (*Server, error) {
+	if fleet == nil {
+		return nil, errors.New("server: nil fleet")
+	}
+	s, err := New(placer)
+	if err != nil {
+		return nil, err
+	}
+	s.fleet = fleet
+	s.mux.HandleFunc("GET /v1/bikes", s.handleBikes)
+	s.mux.HandleFunc("POST /v1/bikes", s.handleAddBike)
+	s.mux.HandleFunc("POST /v1/rides", s.handleRide)
+	s.mux.HandleFunc("POST /v1/charging-round", s.handleChargingRound)
+	return s, nil
+}
+
+func (s *Server) handleBikes(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	bikes := s.fleet.Bikes()
+	low := len(s.fleet.LowBikes())
+	s.mu.Unlock()
+	resp := BikesResponse{Bikes: make([]BikeView, len(bikes)), Low: low}
+	for i, b := range bikes {
+		resp.Bikes[i] = BikeView{ID: b.ID, Loc: b.Loc, Level: b.Level}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAddBike(w http.ResponseWriter, r *http.Request) {
+	var req BikeView
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	err := s.fleet.Add(energy.Bike{ID: req.ID, Loc: req.Loc, Level: req.Level})
+	s.mu.Unlock()
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, req)
+}
+
+func (s *Server) handleRide(w http.ResponseWriter, r *http.Request) {
+	var req RideRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	err := s.fleet.Ride(req.BikeID, req.Dest)
+	var view BikeView
+	if err == nil {
+		if b, gerr := s.fleet.Get(req.BikeID); gerr == nil {
+			view = BikeView{ID: b.ID, Loc: b.Loc, Level: b.Level}
+		}
+	}
+	s.mu.Unlock()
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, energy.ErrUnknownBike) {
+			status = http.StatusNotFound
+		}
+		writeJSON(w, status, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleChargingRound(w http.ResponseWriter, r *http.Request) {
+	var req ChargingRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	stations := s.placer.Stations()
+	cfg := sim.DefaultChargingConfig(req.Alpha)
+	if req.Seed != 0 {
+		cfg.Seed = req.Seed
+	}
+	report, err := sim.RunChargingRound(stations, s.fleet, cfg)
+	s.mu.Unlock()
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, report)
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decode request: %v", err)})
+		return false
+	}
+	return true
+}

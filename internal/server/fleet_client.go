@@ -1,0 +1,39 @@
+package server
+
+import (
+	"context"
+	"net/http"
+
+	"repro/internal/geo"
+	"repro/internal/sim"
+)
+
+// Bikes fetches the fleet snapshot.
+func (c *Client) Bikes(ctx context.Context) (BikesResponse, error) {
+	var out BikesResponse
+	err := c.do(ctx, http.MethodGet, "/v1/bikes", nil, &out)
+	return out, err
+}
+
+// AddBike registers a bike with the backend fleet.
+func (c *Client) AddBike(ctx context.Context, id int64, loc geo.Point, level float64) error {
+	var out BikeView
+	return c.do(ctx, http.MethodPost, "/v1/bikes", BikeView{ID: id, Loc: loc, Level: level}, &out)
+}
+
+// Ride moves a bike to dest, returning its updated state.
+func (c *Client) Ride(ctx context.Context, bikeID int64, dest geo.Point) (BikeView, error) {
+	var out BikeView
+	err := c.do(ctx, http.MethodPost, "/v1/rides", RideRequest{BikeID: bikeID, Dest: dest}, &out)
+	return out, err
+}
+
+// ChargingRound triggers a tier-2 service round at the given incentive
+// level.
+func (c *Client) ChargingRound(ctx context.Context, alpha float64, seed uint64) (*sim.ChargingReport, error) {
+	var out sim.ChargingReport
+	if err := c.do(ctx, http.MethodPost, "/v1/charging-round", ChargingRequest{Alpha: alpha, Seed: seed}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/geo"
+)
+
+func newFleetServer(t *testing.T) (*httptest.Server, *Client) {
+	t.Helper()
+	placer, err := core.NewMeyerson(5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed a few stations so charging rounds have somewhere to group.
+	for _, p := range []geo.Point{geo.Pt(0, 0), geo.Pt(800, 0), geo.Pt(0, 800)} {
+		if _, err := placer.Place(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fleet, err := energy.NewFleet(energy.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewWithFleet(placer, fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	client, err := NewClient(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts, client
+}
+
+func TestNewWithFleetValidation(t *testing.T) {
+	placer, err := core.NewMeyerson(5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWithFleet(placer, nil); err == nil {
+		t.Error("nil fleet should error")
+	}
+	fleet, err := energy.NewFleet(energy.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWithFleet(nil, fleet); err == nil {
+		t.Error("nil placer should error")
+	}
+}
+
+func TestFleetEndpointsLifecycle(t *testing.T) {
+	_, client := newFleetServer(t)
+	ctx := context.Background()
+
+	if err := client.AddBike(ctx, 1, geo.Pt(0, 0), 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.AddBike(ctx, 2, geo.Pt(800, 0), 0.95); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate registration is rejected.
+	if err := client.AddBike(ctx, 1, geo.Pt(0, 0), 0.5); err == nil {
+		t.Error("duplicate bike should error")
+	}
+
+	bikes, err := client.Bikes(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bikes.Bikes) != 2 || bikes.Low != 1 {
+		t.Errorf("snapshot: %+v", bikes)
+	}
+
+	// Ride the healthy bike; level must drop.
+	view, err := client.Ride(ctx, 2, geo.Pt(800, 3500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Level >= 0.95 || view.Loc != geo.Pt(800, 3500) {
+		t.Errorf("ride result: %+v", view)
+	}
+	// Unknown bike -> 404.
+	if _, err := client.Ride(ctx, 99, geo.Pt(0, 0)); err == nil ||
+		!strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown bike: %v", err)
+	}
+	// Empty battery rejected without state change.
+	if _, err := client.Ride(ctx, 1, geo.Pt(50000, 0)); err == nil {
+		t.Error("over-range ride should error")
+	}
+
+	report, err := client.ChargingRound(ctx, 0.4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.TotalLowBikes < 1 {
+		t.Errorf("charging round saw %d low bikes", report.TotalLowBikes)
+	}
+	after, err := client.Bikes(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Low >= bikes.Low && report.ChargedBikes > 0 {
+		t.Errorf("low count did not fall: %d -> %d", bikes.Low, after.Low)
+	}
+}
+
+func TestChargingRoundBadAlpha(t *testing.T) {
+	ts, _ := newFleetServer(t)
+	resp, err := http.Post(ts.URL+"/v1/charging-round", "application/json",
+		strings.NewReader(`{"alpha": 2.0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("status=%d", resp.StatusCode)
+	}
+}
+
+func TestFleetEndpointsAbsentWithoutFleet(t *testing.T) {
+	// A server built with New must not expose tier-2 routes.
+	placer, err := core.NewMeyerson(5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(placer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/bikes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("tier-2 route present without fleet: %d", resp.StatusCode)
+	}
+}
+
+func TestFleetBadBodies(t *testing.T) {
+	ts, _ := newFleetServer(t)
+	for _, tc := range []struct{ path, body string }{
+		{"/v1/bikes", `{`},
+		{"/v1/bikes", `{"unknown": 1}`},
+		{"/v1/rides", `{`},
+		{"/v1/charging-round", `{`},
+	} {
+		resp, err := http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s with %q: status=%d", tc.path, tc.body, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// handleMetrics renders counters in the Prometheus text exposition
+// format so standard scrapers can monitor a deployment without extra
+// dependencies.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	requests := s.requests
+	opened := s.opened
+	walk := s.walkTotal
+	stations := len(s.placer.Stations())
+	var fleetSize, fleetLow int
+	hasFleet := s.fleet != nil
+	if hasFleet {
+		fleetSize = s.fleet.Len()
+		fleetLow = len(s.fleet.LowBikes())
+	}
+	s.mu.Unlock()
+
+	var sb strings.Builder
+	writeMetric := func(name, help, typ string, value any) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, value)
+	}
+	writeMetric("esharing_requests_total", "Trip requests served.", "counter", requests)
+	writeMetric("esharing_stations_opened_total", "Stations opened online.", "counter", opened)
+	writeMetric("esharing_walk_meters_total", "Cumulative rider walking distance.", "counter", walk)
+	writeMetric("esharing_stations", "Currently established stations.", "gauge", stations)
+	if hasFleet {
+		writeMetric("esharing_fleet_bikes", "Registered bikes.", "gauge", fleetSize)
+		writeMetric("esharing_fleet_low_bikes", "Bikes below the charging threshold.", "gauge", fleetLow)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(sb.String()))
+}

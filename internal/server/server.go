@@ -1,0 +1,158 @@
+// Package server exposes the E-Sharing backend over HTTP/JSON: trip
+// requests stream in, parking decisions stream back (the paper's system
+// architecture, Fig. 3, steps ②–④). The handler serialises access to the
+// underlying online placer, which is single-threaded by design (decisions
+// are order-dependent).
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/geo"
+)
+
+// PlaceRequest is the body of POST /v1/requests.
+type PlaceRequest struct {
+	// Dest is the rider's destination in planar metres.
+	Dest geo.Point `json:"dest"`
+}
+
+// PlaceResponse mirrors core.Decision over the wire.
+type PlaceResponse struct {
+	Station      geo.Point `json:"station"`
+	StationIndex int       `json:"stationIndex"`
+	Opened       bool      `json:"opened"`
+	WalkMeters   float64   `json:"walkMeters"`
+}
+
+// StationsResponse is the body of GET /v1/stations.
+type StationsResponse struct {
+	Stations []geo.Point `json:"stations"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Algorithm      string  `json:"algorithm"`
+	Requests       int64   `json:"requests"`
+	Opened         int64   `json:"opened"`
+	WalkTotal      float64 `json:"walkTotalMeters"`
+	Stations       int     `json:"stations"`
+	LastSimilarity float64 `json:"lastSimilarityPct,omitempty"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Server wraps an online placer behind an HTTP API; NewWithFleet adds
+// tier-2 fleet endpoints.
+type Server struct {
+	mu     sync.Mutex
+	placer core.OnlinePlacer
+	fleet  *energy.Fleet // nil unless built with NewWithFleet
+
+	requests  int64
+	opened    int64
+	walkTotal float64
+
+	mux *http.ServeMux
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// New builds a Server around placer.
+func New(placer core.OnlinePlacer) (*Server, error) {
+	if placer == nil {
+		return nil, errors.New("server: nil placer")
+	}
+	s := &Server{placer: placer, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/requests", s.handlePlace)
+	s.mux.HandleFunc("GET /v1/stations", s.handleStations)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
+	var req PlaceRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decode request: %v", err)})
+		return
+	}
+	if !req.Dest.IsFinite() {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "destination must be finite"})
+		return
+	}
+
+	s.mu.Lock()
+	decision, err := s.placer.Place(req.Dest)
+	if err == nil {
+		s.requests++
+		if decision.Opened {
+			s.opened++
+		}
+		s.walkTotal += decision.Walk
+	}
+	s.mu.Unlock()
+
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, PlaceResponse{
+		Station:      decision.Station,
+		StationIndex: decision.StationIndex,
+		Opened:       decision.Opened,
+		WalkMeters:   decision.Walk,
+	})
+}
+
+func (s *Server) handleStations(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	stations := s.placer.Stations()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, StationsResponse{Stations: stations})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	resp := StatsResponse{
+		Algorithm: s.placer.Name(),
+		Requests:  s.requests,
+		Opened:    s.opened,
+		WalkTotal: s.walkTotal,
+		Stations:  len(s.placer.Stations()),
+	}
+	if es, ok := s.placer.(*core.ESharing); ok {
+		resp.LastSimilarity = es.LastSimilarity()
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding failures after the header is committed can only be
+	// reported by aborting the connection; ignore them.
+	_ = json.NewEncoder(w).Encode(v)
+}

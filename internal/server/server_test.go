@@ -1,0 +1,271 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/stats"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Client) {
+	t.Helper()
+	placer, err := core.NewMeyerson(5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(placer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	client, err := NewClient(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts, client
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("nil placer should error")
+	}
+	if _, err := NewClient("", nil); err == nil {
+		t.Error("empty base URL should error")
+	}
+}
+
+func TestPlaceAndStations(t *testing.T) {
+	_, client := newTestServer(t)
+	ctx := context.Background()
+
+	first, err := client.Place(ctx, geo.Pt(100, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Opened || first.WalkMeters != 0 {
+		t.Errorf("first placement should open: %+v", first)
+	}
+
+	second, err := client.Place(ctx, geo.Pt(101, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Opened {
+		t.Errorf("1 m from a station should assign, not open: %+v", second)
+	}
+	if second.WalkMeters != 1 {
+		t.Errorf("walk=%v, want 1", second.WalkMeters)
+	}
+
+	stations, err := client.Stations(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stations) != 1 || stations[0] != geo.Pt(100, 100) {
+		t.Errorf("stations=%v", stations)
+	}
+}
+
+func TestStats(t *testing.T) {
+	_, client := newTestServer(t)
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := client.Place(ctx, geo.Pt(float64(i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Requests != 5 {
+		t.Errorf("requests=%d, want 5", got.Requests)
+	}
+	if got.Algorithm != "meyerson" {
+		t.Errorf("algorithm=%q", got.Algorithm)
+	}
+	if got.Opened < 1 || int(got.Opened) != got.Stations {
+		t.Errorf("opened=%d stations=%d", got.Opened, got.Stations)
+	}
+}
+
+func TestStatsExposesESharingSimilarity(t *testing.T) {
+	hist := stats.SamplePoints(stats.NewRNG(1),
+		stats.UniformDist{Box: geo.Square(geo.Pt(0, 0), 1000)}, 50)
+	cfg := core.DefaultESharingConfig()
+	cfg.TestEvery = 10
+	cfg.WindowSize = 10
+	placer, err := core.NewESharing([]geo.Point{geo.Pt(500, 500)}, 5000, hist, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(placer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client, err := NewClient(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		if _, err := client.Place(ctx, geo.Pt(float64(i*40), 500)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LastSimilarity == 0 {
+		t.Error("E-sharing stats should expose the last similarity")
+	}
+}
+
+func TestHealth(t *testing.T) {
+	_, client := newTestServer(t)
+	if err := client.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t)
+	tests := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"malformed json", "{", http.StatusBadRequest},
+		{"unknown field", `{"dest":{"x":1,"y":2},"extra":true}`, http.StatusBadRequest},
+		{"nan dest", `{"dest":{"x":null,"y":2}}`, http.StatusOK}, // null decodes to 0: valid
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/requests", "application/json", strings.NewReader(tt.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { _ = resp.Body.Close() }()
+			if resp.StatusCode != tt.want {
+				t.Errorf("status=%d, want %d", resp.StatusCode, tt.want)
+			}
+		})
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET on POST route: status=%d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentPlacements(t *testing.T) {
+	// The server must serialise placer access; hammer it concurrently and
+	// verify the counters add up (run with -race in CI).
+	ts, client := newTestServer(t)
+	_ = ts
+	ctx := context.Background()
+	const goroutines = 8
+	const perG = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if _, err := client.Place(ctx, geo.Pt(float64(g*100+i), float64(i))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	got, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Requests != goroutines*perG {
+		t.Errorf("requests=%d, want %d", got.Requests, goroutines*perG)
+	}
+}
+
+func TestClientAgainstDeadServer(t *testing.T) {
+	client, err := NewClient("http://127.0.0.1:1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Place(context.Background(), geo.Pt(0, 0)); err == nil {
+		t.Error("dead server should error")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts, client := newTestServer(t)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := client.Place(ctx, geo.Pt(float64(i*500), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.Contains(text, "esharing_requests_total 3") {
+		t.Errorf("missing request counter:\n%s", text)
+	}
+	if !strings.Contains(text, "# TYPE esharing_stations gauge") {
+		t.Errorf("missing stations gauge:\n%s", text)
+	}
+	if strings.Contains(text, "esharing_fleet_bikes") {
+		t.Error("fleet metrics present without a fleet")
+	}
+}
+
+func TestMetricsWithFleet(t *testing.T) {
+	ts, client := newFleetServer(t)
+	if err := client.AddBike(context.Background(), 7, geo.Pt(0, 0), 0.1); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "esharing_fleet_low_bikes 1") {
+		t.Errorf("missing fleet gauge:\n%s", body)
+	}
+}

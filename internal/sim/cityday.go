@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/energy"
+)
+
+// DayReport summarises one simulated service day of tier-1 operation.
+type DayReport struct {
+	Requests       int     `json:"requests"`
+	StationsOpened int     `json:"stationsOpened"`
+	StationsTotal  int     `json:"stationsTotal"`
+	WalkTotal      float64 `json:"walkTotalM"`
+	AvgWalk        float64 `json:"avgWalkM"`
+	SpaceCost      float64 `json:"spaceCost"`
+	// Stranded counts trips whose bike lacked the charge to reach the
+	// assigned parking; the rider leaves it at the destination instead.
+	Stranded    int `json:"stranded"`
+	LowBikesEnd int `json:"lowBikesEnd"`
+}
+
+// TotalCost returns the Eq. 1 objective for the day.
+func (r DayReport) TotalCost() float64 { return r.WalkTotal + r.SpaceCost }
+
+// RunDay streams a day of trips through an online placer and the fleet:
+// each trip's destination is assigned a parking location, and the trip's
+// bike rides from its current position to that parking (draining its
+// battery). openingCost is the space-occupation charge per station opened
+// during the stream. Trips whose bike IDs are unknown to the fleet are
+// rejected; a bike without the charge to reach the assigned parking is
+// left at the raw destination and counted as stranded.
+func RunDay(placer core.OnlinePlacer, fleet *energy.Fleet, trips []dataset.Trip, openingCost float64) (*DayReport, error) {
+	if placer == nil {
+		return nil, fmt.Errorf("sim: nil placer")
+	}
+	if fleet == nil {
+		return nil, fmt.Errorf("sim: nil fleet")
+	}
+	if openingCost <= 0 {
+		return nil, fmt.Errorf("sim: opening cost %v must be positive", openingCost)
+	}
+	report := &DayReport{}
+	for i, trip := range trips {
+		decision, err := placer.Place(trip.End)
+		if err != nil {
+			return nil, fmt.Errorf("sim: trip %d: %w", i, err)
+		}
+		report.Requests++
+		if decision.Opened {
+			report.StationsOpened++
+			report.SpaceCost += openingCost
+		}
+		report.WalkTotal += decision.Walk
+
+		// Ride the bike to the assigned parking.
+		if err := fleet.Ride(trip.BikeID, decision.Station); err != nil {
+			switch {
+			case errors.Is(err, energy.ErrBatteryEmpty):
+				report.Stranded++
+				// The rider abandons the bike at the raw destination;
+				// relocation without energy cost.
+				if terr := fleet.Teleport(trip.BikeID, trip.End); terr != nil {
+					return nil, fmt.Errorf("sim: trip %d: %w", i, terr)
+				}
+			case errors.Is(err, energy.ErrUnknownBike):
+				return nil, fmt.Errorf("sim: trip %d: %w", i, err)
+			default:
+				return nil, fmt.Errorf("sim: trip %d: %w", i, err)
+			}
+		}
+	}
+	report.StationsTotal = len(placer.Stations())
+	if report.Requests > 0 {
+		report.AvgWalk = report.WalkTotal / float64(report.Requests)
+	}
+	report.LowBikesEnd = len(fleet.LowBikes())
+	return report, nil
+}

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/energy"
+	"repro/internal/geo"
+)
+
+// InventoryReport summarises an inventory-aware day: the paper's
+// footnote 2 lifecycle where a station emptied of E-bikes is removed from
+// P and may later be re-established by fresh requests.
+type InventoryReport struct {
+	Requests        int     `json:"requests"`
+	Served          int     `json:"served"`
+	NoBikeAvailable int     `json:"noBikeAvailable"`
+	StationsOpened  int     `json:"stationsOpened"`
+	StationsRemoved int     `json:"stationsRemoved"`
+	WalkTotal       float64 `json:"walkTotalM"`
+	SpaceCost       float64 `json:"spaceCost"`
+	Stranded        int     `json:"stranded"`
+}
+
+// TotalCost is the Eq. 1 objective of the day.
+func (r InventoryReport) TotalCost() float64 { return r.WalkTotal + r.SpaceCost }
+
+// RunDayWithInventory streams trips through an E-sharing placer while
+// tracking per-station bike inventory. Each trip picks up from the
+// nearest station that still holds a bike (removing the station from P
+// when it empties, per the paper's footnote 2), gets a parking decision
+// for its destination, and rides there. Trips that find no bike anywhere
+// are counted and skipped.
+func RunDayWithInventory(
+	placer *core.ESharing,
+	fleet *energy.Fleet,
+	trips []dataset.Trip,
+	openingCost float64,
+) (*InventoryReport, error) {
+	if placer == nil {
+		return nil, fmt.Errorf("sim: nil placer")
+	}
+	if fleet == nil {
+		return nil, fmt.Errorf("sim: nil fleet")
+	}
+	if openingCost <= 0 {
+		return nil, fmt.Errorf("sim: opening cost %v must be positive", openingCost)
+	}
+
+	// inventory[i] holds the bike IDs parked at stations[i], aligned with
+	// the placer's station indices.
+	stations := placer.Stations()
+	inventory := make([][]int64, len(stations))
+	for _, b := range fleet.Bikes() {
+		idx, _ := geo.Nearest(b.Loc, stations)
+		if idx >= 0 {
+			inventory[idx] = append(inventory[idx], b.ID)
+		}
+	}
+
+	report := &InventoryReport{}
+	for i, trip := range trips {
+		report.Requests++
+
+		// Pick up: nearest station (by trip start) holding a bike.
+		from := nearestStocked(placer.Stations(), inventory, trip.Start)
+		if from < 0 {
+			report.NoBikeAvailable++
+			continue
+		}
+		bikeID := inventory[from][0]
+		inventory[from] = inventory[from][1:]
+		if len(inventory[from]) == 0 {
+			// Footnote 2: an emptied station leaves P.
+			if err := placer.RemoveStation(from); err != nil {
+				return nil, fmt.Errorf("sim: trip %d: remove station: %w", i, err)
+			}
+			inventory = append(inventory[:from], inventory[from+1:]...)
+			report.StationsRemoved++
+		}
+
+		// Decide the destination parking.
+		decision, err := placer.Place(trip.End)
+		if err != nil {
+			return nil, fmt.Errorf("sim: trip %d: %w", i, err)
+		}
+		if decision.Opened {
+			report.StationsOpened++
+			report.SpaceCost += openingCost
+			inventory = append(inventory, nil)
+		}
+		report.WalkTotal += decision.Walk
+
+		// Ride there (stranding drops the bike at the raw destination,
+		// off-station).
+		target := decision.Station
+		if err := fleet.Ride(bikeID, target); err != nil {
+			if errors.Is(err, energy.ErrBatteryEmpty) {
+				report.Stranded++
+				if terr := fleet.Teleport(bikeID, trip.End); terr != nil {
+					return nil, fmt.Errorf("sim: trip %d: %w", i, terr)
+				}
+				report.Served++
+				continue
+			}
+			return nil, fmt.Errorf("sim: trip %d: %w", i, err)
+		}
+		inventory[decision.StationIndex] = append(inventory[decision.StationIndex], bikeID)
+		report.Served++
+	}
+	return report, nil
+}
+
+// nearestStocked returns the index of the closest station with at least
+// one bike, or -1.
+func nearestStocked(stations []geo.Point, inventory [][]int64, from geo.Point) int {
+	best, bestD := -1, 0.0
+	for i, loc := range stations {
+		if i >= len(inventory) || len(inventory[i]) == 0 {
+			continue
+		}
+		d := from.Dist2(loc)
+		if best < 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunMultiPeriodValidation(t *testing.T) {
+	stations, fleet := chargingFixture(t, 11)
+	if _, err := RunMultiPeriod(stations, fleet, DefaultChargingConfig(0.4), 0, 0); err == nil {
+		t.Error("zero periods should error")
+	}
+	if _, err := RunMultiPeriod(stations, fleet, DefaultChargingConfig(0.4), 2, 1.5); err == nil {
+		t.Error("drain > 1 should error")
+	}
+}
+
+func TestRunMultiPeriodClearsStragglers(t *testing.T) {
+	// Without between-period drain, successive rounds must eventually
+	// charge every low bike — the paper's deferred-straggler claim.
+	stations, fleet := chargingFixture(t, 12)
+	initialLow := len(fleet.LowBikes())
+	if initialLow == 0 {
+		t.Fatal("fixture has no low bikes")
+	}
+	res, err := RunMultiPeriod(stations, fleet, DefaultChargingConfig(0.7), 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeriodsToClear == 0 {
+		t.Errorf("low bikes never cleared over 6 periods (final low %d)",
+			res.Periods[len(res.Periods)-1].FleetLowAfter)
+	}
+	// Low counts are monotone non-increasing without drain.
+	prev := initialLow
+	for _, p := range res.Periods {
+		if p.FleetLowAfter > prev {
+			t.Errorf("period %d: low rose %d -> %d without drain", p.Period, prev, p.FleetLowAfter)
+		}
+		prev = p.FleetLowAfter
+	}
+	if res.TotalCost <= 0 {
+		t.Error("no cost accumulated")
+	}
+}
+
+func TestRunMultiPeriodWithDrainKeepsWorking(t *testing.T) {
+	stations, fleet := chargingFixture(t, 13)
+	res, err := RunMultiPeriod(stations, fleet, DefaultChargingConfig(0.4), 4, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Periods) != 4 {
+		t.Fatalf("periods=%d", len(res.Periods))
+	}
+	// Every period should have found work (drain keeps producing low
+	// bikes).
+	for _, p := range res.Periods[1:] {
+		if p.Report.TotalLowBikes == 0 {
+			t.Errorf("period %d had no low bikes despite drain", p.Period)
+		}
+	}
+}
+
+func TestRunMultiPeriodBudgetStarvation(t *testing.T) {
+	// A tiny budget charges almost nothing per round; stragglers persist
+	// across the horizon.
+	stations, fleet := chargingFixture(t, 14)
+	cfg := DefaultChargingConfig(0)
+	cfg.WorkBudget = 13 * time.Minute // one stop at most
+	res, err := RunMultiPeriod(stations, fleet, cfg, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeriodsToClear != 0 {
+		t.Error("starved operator should not clear the backlog in 2 periods")
+	}
+}

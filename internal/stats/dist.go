@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/geo"
+)
+
+// PointDist generates 2-D points. Section V-B evaluates the penalty
+// functions under uniform, Poisson(-radial) and normal request
+// distributions; implementations of this interface provide those synthetic
+// workloads.
+type PointDist interface {
+	// Sample draws one point.
+	Sample(rng *rand.Rand) geo.Point
+	// Name identifies the distribution in reports.
+	Name() string
+}
+
+// UniformDist draws points uniformly from a bounding box.
+type UniformDist struct {
+	Box geo.BBox
+}
+
+var _ PointDist = UniformDist{}
+
+// Sample implements PointDist.
+func (d UniformDist) Sample(rng *rand.Rand) geo.Point {
+	return geo.Pt(
+		d.Box.MinX+rng.Float64()*d.Box.Width(),
+		d.Box.MinY+rng.Float64()*d.Box.Height(),
+	)
+}
+
+// Name implements PointDist.
+func (d UniformDist) Name() string { return "uniform" }
+
+// NormalDist draws points from an isotropic Gaussian centred at Center.
+// Requests "aggregate around the origin", the paper's best case for the
+// Type II penalty.
+type NormalDist struct {
+	Center geo.Point
+	StdDev float64
+}
+
+var _ PointDist = NormalDist{}
+
+// Sample implements PointDist.
+func (d NormalDist) Sample(rng *rand.Rand) geo.Point {
+	return geo.Pt(
+		d.Center.X+d.StdDev*rng.NormFloat64(),
+		d.Center.Y+d.StdDev*rng.NormFloat64(),
+	)
+}
+
+// Name implements PointDist.
+func (d NormalDist) Name() string { return "normal" }
+
+// PoissonRadialDist draws points whose distance from Center is
+// Poisson(Lambda)·Scale with a uniform angle, concentrating mass in a
+// mid-range ring — the paper's "poisson" case that favours the Type III
+// penalty.
+type PoissonRadialDist struct {
+	Center geo.Point
+	Lambda float64
+	Scale  float64
+}
+
+var _ PointDist = PoissonRadialDist{}
+
+// Sample implements PointDist.
+func (d PoissonRadialDist) Sample(rng *rand.Rand) geo.Point {
+	r := float64(Poisson(rng, d.Lambda)) * d.Scale
+	theta := rng.Float64() * 2 * math.Pi
+	return geo.Pt(d.Center.X+r*math.Cos(theta), d.Center.Y+r*math.Sin(theta))
+}
+
+// Name implements PointDist.
+func (d PoissonRadialDist) Name() string { return "poisson" }
+
+// MixtureDist draws from Components[i] with probability Weights[i]. It
+// models multi-POI cities: each component is one point of interest.
+type MixtureDist struct {
+	Components []PointDist
+	Weights    []float64
+	name       string
+}
+
+var _ PointDist = (*MixtureDist)(nil)
+
+// NewMixture validates and builds a mixture distribution.
+func NewMixture(name string, components []PointDist, weights []float64) (*MixtureDist, error) {
+	if len(components) == 0 {
+		return nil, fmt.Errorf("stats: mixture %q has no components", name)
+	}
+	if len(components) != len(weights) {
+		return nil, fmt.Errorf("stats: mixture %q has %d components but %d weights",
+			name, len(components), len(weights))
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("stats: mixture %q weight %d is negative", name, i)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("stats: mixture %q has zero total weight", name)
+	}
+	return &MixtureDist{Components: components, Weights: weights, name: name}, nil
+}
+
+// Sample implements PointDist.
+func (d *MixtureDist) Sample(rng *rand.Rand) geo.Point {
+	i := WeightedIndex(rng, d.Weights)
+	if i < 0 {
+		i = 0
+	}
+	return d.Components[i].Sample(rng)
+}
+
+// Name implements PointDist.
+func (d *MixtureDist) Name() string { return d.name }
+
+// SamplePoints draws n points from dist.
+func SamplePoints(rng *rand.Rand, dist PointDist, n int) []geo.Point {
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = dist.Sample(rng)
+	}
+	return pts
+}

@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestPermutationPValueValidation(t *testing.T) {
+	pts := SamplePoints(NewRNG(1), UniformDist{Box: geo.Square(geo.Pt(0, 0), 100)}, 20)
+	if _, _, err := PermutationPValue(nil, pts, 10, 1); !errors.Is(err, ErrEmptySample) {
+		t.Errorf("empty a: %v", err)
+	}
+	if _, _, err := PermutationPValue(pts, pts, 0, 1); err == nil {
+		t.Error("zero rounds should error")
+	}
+}
+
+func TestPermutationPValueNullUniform(t *testing.T) {
+	// Same-distribution samples: the p-value should be unremarkable
+	// (well above typical significance levels).
+	rng := NewRNG(3)
+	box := geo.Square(geo.Pt(0, 0), 1000)
+	a := SamplePoints(rng, UniformDist{Box: box}, 60)
+	b := SamplePoints(rng, UniformDist{Box: box}, 60)
+	_, p, err := PermutationPValue(a, b, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.05 {
+		t.Errorf("null p-value %v unexpectedly significant", p)
+	}
+}
+
+func TestPermutationPValueDetectsShift(t *testing.T) {
+	rng := NewRNG(4)
+	a := SamplePoints(rng, UniformDist{Box: geo.Square(geo.Pt(0, 0), 400)}, 60)
+	b := SamplePoints(rng, NormalDist{Center: geo.Pt(1500, 1500), StdDev: 50}, 60)
+	observed, p, err := PermutationPValue(a, b, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if observed < 0.9 {
+		t.Errorf("disjoint samples D=%v, want ~1", observed)
+	}
+	if p > 0.01 {
+		t.Errorf("shift p-value %v, want <= 0.01", p)
+	}
+}
+
+func TestPermutationPValueInUnitRange(t *testing.T) {
+	rng := NewRNG(5)
+	a := SamplePoints(rng, NormalDist{Center: geo.Pt(0, 0), StdDev: 100}, 30)
+	b := SamplePoints(rng, NormalDist{Center: geo.Pt(60, 0), StdDev: 100}, 30)
+	_, p, err := PermutationPValue(a, b, 99, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 || p > 1 {
+		t.Errorf("p=%v outside (0,1]", p)
+	}
+}
+
+func TestPermutationDeterministic(t *testing.T) {
+	rng := NewRNG(6)
+	a := SamplePoints(rng, UniformDist{Box: geo.Square(geo.Pt(0, 0), 500)}, 40)
+	b := SamplePoints(rng, NormalDist{Center: geo.Pt(250, 250), StdDev: 120}, 40)
+	_, p1, err := PermutationPValue(a, b, 100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p2, err := PermutationPValue(a, b, 100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Errorf("same seed gave %v and %v", p1, p2)
+	}
+}
+
+func TestPermutationDoesNotMutateInputs(t *testing.T) {
+	rng := NewRNG(8)
+	a := SamplePoints(rng, UniformDist{Box: geo.Square(geo.Pt(0, 0), 500)}, 25)
+	b := SamplePoints(rng, UniformDist{Box: geo.Square(geo.Pt(0, 0), 500)}, 25)
+	aCopy := append([]geo.Point(nil), a...)
+	bCopy := append([]geo.Point(nil), b...)
+	if _, _, err := PermutationPValue(a, b, 50, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != aCopy[i] {
+			t.Fatal("input a mutated")
+		}
+	}
+	for i := range b {
+		if b[i] != bCopy[i] {
+			t.Fatal("input b mutated")
+		}
+	}
+}
+
+func TestSignificantShift(t *testing.T) {
+	rng := NewRNG(9)
+	hist := SamplePoints(rng, UniformDist{Box: geo.Square(geo.Pt(0, 0), 400)}, 50)
+	same := SamplePoints(rng, UniformDist{Box: geo.Square(geo.Pt(0, 0), 400)}, 50)
+	far := SamplePoints(rng, NormalDist{Center: geo.Pt(5000, 5000), StdDev: 30}, 50)
+
+	if _, err := SignificantShift(hist, same, 0, 50, 1); err == nil {
+		t.Error("alpha 0 should error")
+	}
+	shifted, err := SignificantShift(hist, far, 0.05, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shifted {
+		t.Error("disjoint distributions should be a significant shift")
+	}
+	stable, err := SignificantShift(hist, same, 0.01, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stable {
+		t.Error("same distribution flagged as shift at alpha=0.01")
+	}
+}
