@@ -5,6 +5,11 @@
 package repro
 
 import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -13,6 +18,7 @@ import (
 	"repro/internal/forecast"
 	"repro/internal/geo"
 	"repro/internal/routing"
+	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -205,6 +211,79 @@ func BenchmarkESharingStream1000(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPlace measures the per-request cost of the placement hot path
+// (Algorithm 2's nearest-station lookup plus the opening draw) at
+// increasing station counts. The opening cost is set prohibitively high
+// so the station set stays fixed at k and the numbers isolate the lookup.
+func BenchmarkPlace(b *testing.B) {
+	for _, k := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			landmarks := benchPoints(k)
+			queries := stats.SamplePoints(stats.NewRNG(13),
+				stats.UniformDist{Box: geo.Square(geo.Pt(0, 0), 2000)}, 4096)
+			cfg := core.DefaultESharingConfig()
+			cfg.TestEvery = 0
+			placer, err := core.NewESharing(landmarks, 1e12, nil, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := placer.Place(queries[i%len(queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServerMixedLoad drives the HTTP layer with a realistic mix —
+// placements interleaved with /v1/stats, /v1/stations and /metrics reads
+// — from parallel goroutines, measuring aggregate handler throughput.
+func BenchmarkServerMixedLoad(b *testing.B) {
+	landmarks := benchPoints(1000)
+	queries := stats.SamplePoints(stats.NewRNG(13),
+		stats.UniformDist{Box: geo.Square(geo.Pt(0, 0), 2000)}, 1024)
+	cfg := core.DefaultESharingConfig()
+	cfg.TestEvery = 0
+	placer, err := core.NewESharing(landmarks, 1e12, nil, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := server.New(placer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bodies := make([][]byte, len(queries))
+	for i, q := range queries {
+		bodies[i] = []byte(fmt.Sprintf(`{"dest":{"x":%g,"y":%g}}`, q.X, q.Y))
+	}
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(seq.Add(1))
+			var req *http.Request
+			switch i % 4 {
+			case 0:
+				req = httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+			case 1:
+				req = httptest.NewRequest(http.MethodGet, "/metrics", nil)
+			case 2:
+				req = httptest.NewRequest(http.MethodGet, "/v1/stations", nil)
+			default:
+				req = httptest.NewRequest(http.MethodPost, "/v1/requests",
+					bytes.NewReader(bodies[i%len(bodies)]))
+			}
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+	})
 }
 
 func BenchmarkPeacockKSBrute60(b *testing.B) {

@@ -168,22 +168,11 @@ func buildFleet(placer core.OnlinePlacer, size int, seed uint64) (*energy.Fleet,
 }
 
 func planLandmarks(dests []geo.Point, opening float64) ([]geo.Point, error) {
-	box := geo.Bound(dests)
-	grid, err := geo.NewGrid(box, 100)
+	// core.AggregateDemand pads degenerate bounding boxes, so a one-trip
+	// or collinear history plans fine instead of failing grid validation.
+	demands, err := core.AggregateDemand(dests, 100)
 	if err != nil {
 		return nil, err
-	}
-	counts := grid.Histogram(dests)
-	var demands []core.Demand
-	for idx, n := range counts {
-		if n == 0 {
-			continue
-		}
-		cell, err := grid.CellAt(idx)
-		if err != nil {
-			return nil, err
-		}
-		demands = append(demands, core.Demand{Loc: grid.Centroid(cell), Arrivals: float64(n)})
 	}
 	openingCosts := make([]float64, len(demands))
 	for i := range openingCosts {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/geo"
 )
 
 func testHistory(t *testing.T) []dataset.Trip {
@@ -89,6 +90,57 @@ func TestPlanLandmarks(t *testing.T) {
 	}
 	if len(landmarks) == 0 {
 		t.Error("no landmarks planned")
+	}
+}
+
+// TestStartupFromOneTripCSV is the regression test for the
+// degenerate-bounding-box crash: a 1-row trip history has a zero-area
+// bounding box, and planLandmarks used to hand it unpadded to
+// geo.NewGrid, so the server died at startup. The whole startup path —
+// CSV load, landmark planning, placer construction — must now succeed.
+func TestStartupFromOneTripCSV(t *testing.T) {
+	trips := testHistory(t)[:1]
+	path := filepath.Join(t.TempDir(), "one.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteCSV(f, trips); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	history, err := loadHistory(path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(history) != 1 {
+		t.Fatalf("loaded %d trips, want 1", len(history))
+	}
+	placer, err := buildPlacer("e-sharing", history, 10000, 1)
+	if err != nil {
+		t.Fatalf("startup from a 1-trip history must not crash: %v", err)
+	}
+	if len(placer.Stations()) == 0 {
+		t.Error("one-trip history should still plan at least one landmark")
+	}
+}
+
+// TestPlanLandmarksDegenerateHistories covers the single-point and
+// collinear histories directly: both have a degenerate bounding box.
+func TestPlanLandmarksDegenerateHistories(t *testing.T) {
+	single := []geo.Point{geo.Pt(250, 400)}
+	if _, err := planLandmarks(single, 10000); err != nil {
+		t.Errorf("single destination: %v", err)
+	}
+	collinear := []geo.Point{geo.Pt(0, 100), geo.Pt(500, 100), geo.Pt(900, 100)}
+	landmarks, err := planLandmarks(collinear, 10000)
+	if err != nil {
+		t.Fatalf("collinear destinations: %v", err)
+	}
+	if len(landmarks) == 0 {
+		t.Error("collinear history should plan landmarks")
 	}
 }
 

@@ -130,8 +130,9 @@ var (
 
 // System is the E-Sharing backend: tier-one placement plus tier-two
 // charging optimisation over a shared fleet. It is not safe for
-// concurrent use; wrap it in a server (see internal/server) for
-// concurrent access.
+// concurrent use; for concurrent access over HTTP, run the shipped
+// esharing-server binary (cmd/esharing-server), which serialises
+// placement decisions while serving reads lock-free.
 type System struct {
 	cfg    Config
 	placer *core.ESharing
@@ -174,7 +175,7 @@ func (s *System) PlanOffline(history []Point) (PlanSummary, error) {
 		return PlanSummary{}, ErrNoHistory
 	}
 	pts := toGeoSlice(history)
-	demands, err := aggregateDemand(pts, s.cfg.GridCellMeters)
+	demands, err := core.AggregateDemand(pts, s.cfg.GridCellMeters)
 	if err != nil {
 		return PlanSummary{}, fmt.Errorf("aggregate demand: %w", err)
 	}
@@ -217,36 +218,6 @@ func (s *System) PlanOffline(history []Point) (PlanSummary, error) {
 	}
 	s.plan = &plan
 	return plan, nil
-}
-
-// aggregateDemand bins points into grid cells, one Demand per non-empty
-// cell with arrivals equal to the count.
-func aggregateDemand(pts []geo.Point, cell float64) ([]core.Demand, error) {
-	box := geo.Bound(pts)
-	// Pad degenerate boxes so the grid is valid.
-	if box.Width() <= 0 || box.Height() <= 0 {
-		box = geo.NewBBox(
-			geo.Pt(box.MinX-cell, box.MinY-cell),
-			geo.Pt(box.MaxX+cell, box.MaxY+cell),
-		)
-	}
-	grid, err := geo.NewGrid(box, cell)
-	if err != nil {
-		return nil, err
-	}
-	counts := grid.Histogram(pts)
-	var demands []core.Demand
-	for idx, n := range counts {
-		if n == 0 {
-			continue
-		}
-		c, err := grid.CellAt(idx)
-		if err != nil {
-			return nil, err
-		}
-		demands = append(demands, core.Demand{Loc: grid.Centroid(c), Arrivals: float64(n)})
-	}
-	return demands, nil
 }
 
 // Decision is the response to one live trip request.

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"repro/internal/geo"
+)
+
+// AggregateDemand bins destination points into square grid cells of the
+// given side length (metres), returning one Demand per non-empty cell,
+// located at the cell centroid with arrivals equal to the point count —
+// the paper's offline demand aggregation (Section IV-A).
+//
+// Degenerate inputs are handled: when the points' bounding box has zero
+// width or height (a single destination, or collinear destinations along
+// an axis), the box is padded by one cell on every side so the grid is
+// always valid. Callers planning landmarks from arbitrary trip histories
+// must use this rather than building the grid themselves.
+func AggregateDemand(pts []geo.Point, cell float64) ([]Demand, error) {
+	box := geo.Bound(pts)
+	// Pad degenerate boxes so the grid is valid.
+	if box.Width() <= 0 || box.Height() <= 0 {
+		box = geo.NewBBox(
+			geo.Pt(box.MinX-cell, box.MinY-cell),
+			geo.Pt(box.MaxX+cell, box.MaxY+cell),
+		)
+	}
+	grid, err := geo.NewGrid(box, cell)
+	if err != nil {
+		return nil, err
+	}
+	counts := grid.Histogram(pts)
+	var demands []Demand
+	for idx, n := range counts {
+		if n == 0 {
+			continue
+		}
+		c, err := grid.CellAt(idx)
+		if err != nil {
+			return nil, err
+		}
+		demands = append(demands, Demand{Loc: grid.Centroid(c), Arrivals: float64(n)})
+	}
+	return demands, nil
+}

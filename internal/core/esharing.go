@@ -81,7 +81,7 @@ type ESharing struct {
 	f           float64 // working opening cost
 	k           int     // offline station count
 	landmarks   int     // stations[:landmarks] came from the offline solution
-	stations    []geo.Point
+	index       *geo.DynamicIndex // established stations, in insertion order
 	penalty     Penalty
 	hist        []geo.Point
 	window      []geo.Point
@@ -141,7 +141,7 @@ func NewESharing(offline []geo.Point, baseOpening float64, hist []geo.Point, cfg
 		f:         baseOpening,
 		k:         k,
 		landmarks: k,
-		stations:  append([]geo.Point(nil), offline...),
+		index:     geo.NewDynamicIndex(offline),
 		penalty:   pen,
 		hist:      append([]geo.Point(nil), hist...),
 		lastSim:   100,
@@ -161,11 +161,15 @@ func (e *ESharing) Place(dest geo.Point) (Decision, error) {
 		e.runTest()
 	}
 
-	nearest, c := geo.Nearest(dest, e.stations)
+	nearest, c := e.index.Nearest(dest)
 	if nearest < 0 {
-		// All stations were removed; re-establish at the request.
-		e.openAt(dest)
-		return Decision{Station: dest, StationIndex: len(e.stations) - 1, Opened: true}, nil
+		// All stations were removed; re-establish at the request. This is
+		// forced recovery, not an Algorithm 2 opening decision, so it must
+		// not advance the β·k doubling schedule — it would spuriously
+		// double the working cost f for a degenerate (empty) station set.
+		idx := e.index.Insert(dest)
+		e.onlineOpens++
+		return Decision{Station: dest, StationIndex: idx, Opened: true}, nil
 	}
 	g := e.penalty.Eval
 	if e.customPenalty != nil {
@@ -176,14 +180,14 @@ func (e *ESharing) Place(dest geo.Point) (Decision, error) {
 		prob = 1
 	}
 	if e.rng.Float64() < prob {
-		e.openAt(dest)
-		return Decision{Station: dest, StationIndex: len(e.stations) - 1, Opened: true}, nil
+		idx := e.openAt(dest)
+		return Decision{Station: dest, StationIndex: idx, Opened: true}, nil
 	}
-	return Decision{Station: e.stations[nearest], StationIndex: nearest, Walk: c}, nil
+	return Decision{Station: e.index.At(nearest), StationIndex: nearest, Walk: c}, nil
 }
 
-func (e *ESharing) openAt(dest geo.Point) {
-	e.stations = append(e.stations, dest)
+func (e *ESharing) openAt(dest geo.Point) int {
+	idx := e.index.Insert(dest)
 	e.onlineOpens++
 	e.opensSince++
 	// Line 7–8: after β·k openings the opening cost doubles, making new
@@ -192,6 +196,7 @@ func (e *ESharing) openAt(dest geo.Point) {
 		e.opensSince = 0
 		e.f *= 2
 	}
+	return idx
 }
 
 func (e *ESharing) pushWindow(dest geo.Point) {
@@ -229,7 +234,7 @@ func (e *ESharing) runTest() {
 
 // Stations implements OnlinePlacer.
 func (e *ESharing) Stations() []geo.Point {
-	return append([]geo.Point(nil), e.stations...)
+	return e.index.Points()
 }
 
 // Name implements OnlinePlacer.
@@ -266,10 +271,9 @@ func (e *ESharing) BaseOpeningCost() float64 { return e.baseOpening }
 // re-establish a station there from fresh requests. Indices shift down
 // after removal.
 func (e *ESharing) RemoveStation(index int) error {
-	if index < 0 || index >= len(e.stations) {
-		return fmt.Errorf("core: station index %d out of range [0,%d)", index, len(e.stations))
+	if !e.index.Remove(index) {
+		return fmt.Errorf("core: station index %d out of range [0,%d)", index, e.index.Len())
 	}
-	e.stations = append(e.stations[:index], e.stations[index+1:]...)
 	if index < e.landmarks {
 		e.landmarks--
 	}

@@ -39,7 +39,7 @@ type OnlinePlacer interface {
 type Meyerson struct {
 	OpeningCost float64
 	rng         *rand.Rand
-	stations    []geo.Point
+	index       *geo.DynamicIndex
 }
 
 var _ OnlinePlacer = (*Meyerson)(nil)
@@ -52,6 +52,7 @@ func NewMeyerson(openingCost float64, seed uint64) (*Meyerson, error) {
 	return &Meyerson{
 		OpeningCost: openingCost,
 		rng:         rand.New(rand.NewPCG(seed, seed^0x5bd1e995)),
+		index:       geo.NewDynamicIndex(nil),
 	}, nil
 }
 
@@ -60,7 +61,7 @@ func (m *Meyerson) Place(dest geo.Point) (Decision, error) {
 	if !dest.IsFinite() {
 		return Decision{}, fmt.Errorf("core: non-finite destination %v", dest)
 	}
-	nearest, d := geo.Nearest(dest, m.stations)
+	nearest, d := m.index.Nearest(dest)
 	prob := 1.0
 	if nearest >= 0 {
 		prob = d / m.OpeningCost
@@ -69,15 +70,15 @@ func (m *Meyerson) Place(dest geo.Point) (Decision, error) {
 		prob = 1
 	}
 	if m.rng.Float64() < prob {
-		m.stations = append(m.stations, dest)
-		return Decision{Station: dest, StationIndex: len(m.stations) - 1, Opened: true}, nil
+		idx := m.index.Insert(dest)
+		return Decision{Station: dest, StationIndex: idx, Opened: true}, nil
 	}
-	return Decision{Station: m.stations[nearest], StationIndex: nearest, Walk: d}, nil
+	return Decision{Station: m.index.At(nearest), StationIndex: nearest, Walk: d}, nil
 }
 
 // Stations implements OnlinePlacer.
 func (m *Meyerson) Stations() []geo.Point {
-	return append([]geo.Point(nil), m.stations...)
+	return m.index.Points()
 }
 
 // Name implements OnlinePlacer.
@@ -92,7 +93,7 @@ type OnlineKMeans struct {
 	TargetK int
 
 	rng      *rand.Rand
-	stations []geo.Point
+	index    *geo.DynamicIndex
 	buffer   []geo.Point // first k+1 points used to estimate w*
 	facility float64
 	phaseNew int
@@ -108,6 +109,7 @@ func NewOnlineKMeans(targetK int, seed uint64) (*OnlineKMeans, error) {
 	return &OnlineKMeans{
 		TargetK: targetK,
 		rng:     rand.New(rand.NewPCG(seed, seed^0xc2b2ae35)),
+		index:   geo.NewDynamicIndex(nil),
 	}, nil
 }
 
@@ -124,7 +126,7 @@ func (o *OnlineKMeans) Place(dest geo.Point) (Decision, error) {
 	// up, opening a centre for almost every request.
 	if len(o.buffer) <= o.TargetK {
 		o.buffer = append(o.buffer, dest)
-		o.stations = append(o.stations, dest)
+		idx := o.index.Insert(dest)
 		if len(o.buffer) == o.TargetK+1 {
 			w := medianPairwiseDist(o.buffer)
 			if w <= 0 || math.IsInf(w, 1) {
@@ -132,23 +134,23 @@ func (o *OnlineKMeans) Place(dest geo.Point) (Decision, error) {
 			}
 			o.facility = w * w / 2 / float64(o.TargetK)
 		}
-		return Decision{Station: dest, StationIndex: len(o.stations) - 1, Opened: true}, nil
+		return Decision{Station: dest, StationIndex: idx, Opened: true}, nil
 	}
-	nearest, d := geo.Nearest(dest, o.stations)
+	nearest, d := o.index.Nearest(dest)
 	prob := d * d / o.facility
 	if prob > 1 {
 		prob = 1
 	}
 	if o.rng.Float64() < prob {
-		o.stations = append(o.stations, dest)
+		idx := o.index.Insert(dest)
 		o.phaseNew++
 		if o.phaseNew >= 3*o.TargetK {
 			o.phaseNew = 0
 			o.facility *= 2
 		}
-		return Decision{Station: dest, StationIndex: len(o.stations) - 1, Opened: true}, nil
+		return Decision{Station: dest, StationIndex: idx, Opened: true}, nil
 	}
-	return Decision{Station: o.stations[nearest], StationIndex: nearest, Walk: d}, nil
+	return Decision{Station: o.index.At(nearest), StationIndex: nearest, Walk: d}, nil
 }
 
 // medianPairwiseDist returns the median over all unordered pairwise
@@ -169,7 +171,7 @@ func medianPairwiseDist(pts []geo.Point) float64 {
 
 // Stations implements OnlinePlacer.
 func (o *OnlineKMeans) Stations() []geo.Point {
-	return append([]geo.Point(nil), o.stations...)
+	return o.index.Points()
 }
 
 // Name implements OnlinePlacer.

@@ -79,13 +79,21 @@ func (t *KDTree) At(i int) Point { return t.pts[i] }
 // (-1, +Inf) for an empty tree. Ties resolve to the lowest index,
 // matching geo.Nearest.
 func (t *KDTree) Nearest(q Point) (int, float64) {
-	best := int32(-1)
-	bestD2 := math.Inf(1)
-	t.search(t.root, q, &best, &bestD2)
+	best, bestD2 := t.nearest2(q)
 	if best < 0 {
 		return -1, math.Inf(1)
 	}
-	return int(best), math.Sqrt(bestD2)
+	return best, math.Sqrt(bestD2)
+}
+
+// nearest2 is Nearest in squared-distance form, letting callers combine
+// tree results with linear candidates without losing exactness to an
+// intermediate square root.
+func (t *KDTree) nearest2(q Point) (int, float64) {
+	best := int32(-1)
+	bestD2 := math.Inf(1)
+	t.search(t.root, q, &best, &bestD2)
+	return int(best), bestD2
 }
 
 func (t *KDTree) search(node int32, q Point, best *int32, bestD2 *float64) {
@@ -174,18 +182,22 @@ func (d *DynamicIndex) Remove(i int) bool {
 }
 
 // Nearest returns the index and distance of the closest point, or
-// (-1, +Inf) when empty. Ties resolve to the lowest insertion index.
+// (-1, +Inf) when empty. Ties resolve to the lowest insertion index, and
+// both the winning index and the returned distance are bit-identical to
+// geo.Nearest over the same points: all comparisons use squared
+// distances and the square root is taken once at the end, exactly as the
+// linear scan does.
 func (d *DynamicIndex) Nearest(q Point) (int, float64) {
-	bestIdx, bestD := d.tree.Nearest(q)
+	bestIdx, bestD2 := d.tree.nearest2(q)
 	for k, p := range d.extra {
-		if dist := q.Dist(p); dist < bestD {
-			bestIdx, bestD = d.tree.Len()+k, dist
+		if d2 := q.Dist2(p); d2 < bestD2 {
+			bestIdx, bestD2 = d.tree.Len()+k, d2
 		}
 	}
 	if bestIdx < 0 {
 		return -1, math.Inf(1)
 	}
-	return bestIdx, bestD
+	return bestIdx, math.Sqrt(bestD2)
 }
 
 // Points returns the indexed points in insertion order.

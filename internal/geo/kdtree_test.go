@@ -150,6 +150,66 @@ func TestQuickDynamicIndexAgreesWithLinear(t *testing.T) {
 	}
 }
 
+// TestDynamicIndexDifferential10k is the decision-identity proof for the
+// placement hot path: over a 10k point set — built incrementally, salted
+// with exact duplicates, and thinned by removals — the index must return
+// the same winning index and the bit-identical distance as the linear
+// geo.Nearest scan for every query.
+func TestDynamicIndexDifferential10k(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	d := NewDynamicIndex(nil)
+	pts := make([]Point, 0, 10000)
+	for len(pts) < 10000 {
+		var p Point
+		if len(pts) > 0 && rng.Float64() < 0.1 {
+			p = pts[rng.IntN(len(pts))] // exact duplicate: tie on distance
+		} else {
+			p = Pt(rng.Float64()*5000, rng.Float64()*5000)
+		}
+		pts = append(pts, p)
+		d.Insert(p)
+	}
+
+	check := func(stage string) {
+		t.Helper()
+		queries := make([]Point, 0, 2000)
+		for i := 0; i < 1500; i++ {
+			queries = append(queries, Pt(rng.Float64()*5000, rng.Float64()*5000))
+		}
+		for i := 0; i < 500; i++ {
+			// Queries exactly on indexed points force zero-distance ties.
+			queries = append(queries, pts[rng.IntN(len(pts))])
+		}
+		for _, q := range queries {
+			gi, gd := Nearest(q, pts)
+			ti, td := d.Nearest(q)
+			if gi != ti || gd != td {
+				t.Fatalf("%s: query %v: linear (%d, %v) vs index (%d, %v)", stage, q, gi, gd, ti, td)
+			}
+		}
+	}
+	check("after inserts")
+
+	for i := 0; i < 300; i++ {
+		idx := rng.IntN(len(pts))
+		if !d.Remove(idx) {
+			t.Fatalf("removal %d at %d failed", i, idx)
+		}
+		pts = append(pts[:idx], pts[idx+1:]...)
+	}
+	check("after removals")
+
+	// Interleave fresh inserts with the post-removal state.
+	for i := 0; i < 200; i++ {
+		p := Pt(rng.Float64()*5000, rng.Float64()*5000)
+		pts = append(pts, p)
+		if got := d.Insert(p); got != len(pts)-1 {
+			t.Fatalf("insert returned %d, want %d", got, len(pts)-1)
+		}
+	}
+	check("after reinserts")
+}
+
 func BenchmarkLinearNearest10k(b *testing.B) {
 	pts := randomPts(11, 10000)
 	q := randomPts(12, 1)[0]

@@ -86,9 +86,9 @@ func Nearest(p Point, pts []Point) (int, float64) {
 	return best, math.Sqrt(bestD2)
 }
 
-// MinPairwiseDist returns half of nothing fancy: the minimum distance over
-// all unordered pairs in pts. It returns +Inf when fewer than two points are
-// given. Algorithm 2 uses w* = MinPairwiseDist(P)/2 to rescale opening costs.
+// MinPairwiseDist returns the minimum distance over all unordered pairs in
+// pts. It returns +Inf when fewer than two points are given. Algorithm 2
+// uses w* = MinPairwiseDist(P)/2 to rescale opening costs.
 func MinPairwiseDist(pts []Point) float64 {
 	best := math.Inf(1)
 	for i := 0; i < len(pts); i++ {

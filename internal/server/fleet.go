@@ -65,10 +65,10 @@ func NewWithFleet(placer core.OnlinePlacer, fleet *energy.Fleet) (*Server, error
 }
 
 func (s *Server) handleBikes(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
+	s.fleetMu.Lock()
 	bikes := s.fleet.Bikes()
 	low := len(s.fleet.LowBikes())
-	s.mu.Unlock()
+	s.fleetMu.Unlock()
 	resp := BikesResponse{Bikes: make([]BikeView, len(bikes)), Low: low}
 	for i, b := range bikes {
 		resp.Bikes[i] = BikeView{ID: b.ID, Loc: b.Loc, Level: b.Level}
@@ -81,9 +81,9 @@ func (s *Server) handleAddBike(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	s.mu.Lock()
+	s.fleetMu.Lock()
 	err := s.fleet.Add(energy.Bike{ID: req.ID, Loc: req.Loc, Level: req.Level})
-	s.mu.Unlock()
+	s.fleetMu.Unlock()
 	if err != nil {
 		writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: err.Error()})
 		return
@@ -96,7 +96,7 @@ func (s *Server) handleRide(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	s.mu.Lock()
+	s.fleetMu.Lock()
 	err := s.fleet.Ride(req.BikeID, req.Dest)
 	var view BikeView
 	if err == nil {
@@ -104,7 +104,7 @@ func (s *Server) handleRide(w http.ResponseWriter, r *http.Request) {
 			view = BikeView{ID: b.ID, Loc: b.Loc, Level: b.Level}
 		}
 	}
-	s.mu.Unlock()
+	s.fleetMu.Unlock()
 	if err != nil {
 		status := http.StatusUnprocessableEntity
 		if errors.Is(err, energy.ErrUnknownBike) {
@@ -121,14 +121,18 @@ func (s *Server) handleChargingRound(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	s.mu.Lock()
-	stations := s.placer.Stations()
+	// The charging round needs the established stations (read from the
+	// published snapshot — never the decision lock) and exclusive access
+	// to the fleet it relocates. The snapshot slice is shared with other
+	// readers, so hand the simulator its own copy.
+	stations := append([]geo.Point(nil), s.snap.Load().stations...)
 	cfg := sim.DefaultChargingConfig(req.Alpha)
 	if req.Seed != 0 {
 		cfg.Seed = req.Seed
 	}
+	s.fleetMu.Lock()
 	report, err := sim.RunChargingRound(stations, s.fleet, cfg)
-	s.mu.Unlock()
+	s.fleetMu.Unlock()
 	if err != nil {
 		writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: err.Error()})
 		return

@@ -2,26 +2,30 @@ package server
 
 import (
 	"fmt"
+	"math"
 	"net/http"
 	"strings"
 )
 
 // handleMetrics renders counters in the Prometheus text exposition
 // format so standard scrapers can monitor a deployment without extra
-// dependencies.
+// dependencies. The tier-1 figures come from atomic counters and the
+// published station snapshot, so a scrape never contends with the
+// placement decision stream; only the tier-2 fleet gauges briefly take
+// the fleet's own lock.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	requests := s.requests
-	opened := s.opened
-	walk := s.walkTotal
-	stations := len(s.placer.Stations())
+	requests := s.requests.Load()
+	opened := s.opened.Load()
+	walk := math.Float64frombits(s.walkBits.Load())
+	stations := len(s.snap.Load().stations)
 	var fleetSize, fleetLow int
 	hasFleet := s.fleet != nil
 	if hasFleet {
+		s.fleetMu.Lock()
 		fleetSize = s.fleet.Len()
 		fleetLow = len(s.fleet.LowBikes())
+		s.fleetMu.Unlock()
 	}
-	s.mu.Unlock()
 
 	var sb strings.Builder
 	writeMetric := func(name, help, typ string, value any) {

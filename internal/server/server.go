@@ -1,16 +1,22 @@
 // Package server exposes the E-Sharing backend over HTTP/JSON: trip
 // requests stream in, parking decisions stream back (the paper's system
-// architecture, Fig. 3, steps ②–④). The handler serialises access to the
-// underlying online placer, which is single-threaded by design (decisions
-// are order-dependent).
+// architecture, Fig. 3, steps ②–④). Placement decisions are
+// order-dependent, so POST /v1/requests serialises access to the
+// underlying online placer; the read endpoints (/v1/stations, /v1/stats,
+// /healthz, /metrics) are lock-free, served from atomic counters and a
+// station snapshot republished whenever a decision changes it, so
+// monitoring scrapes and dashboard polls never block the decision
+// stream.
 package server
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/energy"
@@ -51,16 +57,34 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// readSnapshot is the immutable state served to the lock-free read
+// endpoints. The stations slice is never mutated after publication — a
+// fresh copy is taken from the placer whenever a decision opens a
+// station — so concurrent readers may share it without copying.
+type readSnapshot struct {
+	stations []geo.Point
+	lastSim  float64
+	hasSim   bool // placer is a *core.ESharing with a similarity figure
+}
+
 // Server wraps an online placer behind an HTTP API; NewWithFleet adds
 // tier-2 fleet endpoints.
 type Server struct {
-	mu     sync.Mutex
+	mu     sync.Mutex // serialises placement decisions (order-dependent)
 	placer core.OnlinePlacer
-	fleet  *energy.Fleet // nil unless built with NewWithFleet
+	name   string // placer.Name(), cached so reads never touch the placer
 
-	requests  int64
-	opened    int64
-	walkTotal float64
+	fleetMu sync.Mutex    // guards fleet independently of the decision lock
+	fleet   *energy.Fleet // nil unless built with NewWithFleet
+
+	// Counters are written only under mu (single writer) and read
+	// lock-free by the stats/metrics handlers. walkBits holds the
+	// math.Float64bits of the cumulative walk distance.
+	requests atomic.Int64
+	opened   atomic.Int64
+	walkBits atomic.Uint64
+
+	snap atomic.Pointer[readSnapshot]
 
 	mux *http.ServeMux
 }
@@ -72,7 +96,8 @@ func New(placer core.OnlinePlacer) (*Server, error) {
 	if placer == nil {
 		return nil, errors.New("server: nil placer")
 	}
-	s := &Server{placer: placer, mux: http.NewServeMux()}
+	s := &Server{placer: placer, name: placer.Name(), mux: http.NewServeMux()}
+	s.publishSnapshot()
 	s.mux.HandleFunc("POST /v1/requests", s.handlePlace)
 	s.mux.HandleFunc("GET /v1/stations", s.handleStations)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -84,6 +109,40 @@ func New(placer core.OnlinePlacer) (*Server, error) {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// publishSnapshot republishes the read-side state. Called under mu
+// (or before the server is serving) whenever the station set or the
+// similarity figure may have changed; it copies the station slice, so
+// callers should skip it when nothing changed.
+func (s *Server) publishSnapshot() {
+	snap := &readSnapshot{stations: s.placer.Stations()}
+	if es, ok := s.placer.(*core.ESharing); ok {
+		snap.lastSim = es.LastSimilarity()
+		snap.hasSim = true
+	}
+	s.snap.Store(snap)
+}
+
+// refreshAfterPlace updates the published snapshot after a decision.
+// The station copy is only taken when the set actually changed (a
+// station opened); a similarity change alone reuses the current slice.
+func (s *Server) refreshAfterPlace(opened bool) {
+	if opened {
+		s.publishSnapshot()
+		return
+	}
+	cur := s.snap.Load()
+	if !cur.hasSim {
+		return
+	}
+	es, ok := s.placer.(*core.ESharing)
+	if !ok {
+		return
+	}
+	if sim := es.LastSimilarity(); sim != cur.lastSim {
+		s.snap.Store(&readSnapshot{stations: cur.stations, lastSim: sim, hasSim: true})
+	}
 }
 
 func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
@@ -102,11 +161,13 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	decision, err := s.placer.Place(req.Dest)
 	if err == nil {
-		s.requests++
+		s.requests.Add(1)
 		if decision.Opened {
-			s.opened++
+			s.opened.Add(1)
 		}
-		s.walkTotal += decision.Walk
+		walk := math.Float64frombits(s.walkBits.Load()) + decision.Walk
+		s.walkBits.Store(math.Float64bits(walk))
+		s.refreshAfterPlace(decision.Opened)
 	}
 	s.mu.Unlock()
 
@@ -123,25 +184,21 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStations(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	stations := s.placer.Stations()
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, StationsResponse{Stations: stations})
+	writeJSON(w, http.StatusOK, StationsResponse{Stations: s.snap.Load().stations})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
+	snap := s.snap.Load()
 	resp := StatsResponse{
-		Algorithm: s.placer.Name(),
-		Requests:  s.requests,
-		Opened:    s.opened,
-		WalkTotal: s.walkTotal,
-		Stations:  len(s.placer.Stations()),
+		Algorithm: s.name,
+		Requests:  s.requests.Load(),
+		Opened:    s.opened.Load(),
+		WalkTotal: math.Float64frombits(s.walkBits.Load()),
+		Stations:  len(snap.stations),
 	}
-	if es, ok := s.placer.(*core.ESharing); ok {
-		resp.LastSimilarity = es.LastSimilarity()
+	if snap.hasSim {
+		resp.LastSimilarity = snap.lastSim
 	}
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -2,11 +2,13 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -209,6 +211,138 @@ func TestConcurrentPlacements(t *testing.T) {
 	}
 	if got.Requests != goroutines*perG {
 		t.Errorf("requests=%d, want %d", got.Requests, goroutines*perG)
+	}
+}
+
+func TestConcurrentMixedLoadConsistency(t *testing.T) {
+	// Storm the write path and every read endpoint at once (run with
+	// -race in CI): placements must stay serialised while /v1/stats,
+	// /v1/stations and /metrics are served lock-free from the snapshot.
+	// Afterwards the counters must reconcile exactly with the responses
+	// the writers observed.
+	hist := stats.SamplePoints(stats.NewRNG(2),
+		stats.UniformDist{Box: geo.Square(geo.Pt(0, 0), 2000)}, 60)
+	cfg := core.DefaultESharingConfig()
+	cfg.TestEvery = 25
+	cfg.WindowSize = 25
+	landmarks := []geo.Point{geo.Pt(0, 0), geo.Pt(2000, 0), geo.Pt(0, 2000), geo.Pt(2000, 2000)}
+	placer, err := core.NewESharing(landmarks, 5000, hist, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(placer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client, err := NewClient(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	const writers, perWriter, readers = 6, 40, 4
+	var openedSeen atomic.Int64
+	errs := make(chan error, writers+readers)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := stats.NewRNG(uint64(g) + 10)
+			dist := stats.UniformDist{Box: geo.Square(geo.Pt(0, 0), 2000)}
+			for i := 0; i < perWriter; i++ {
+				resp, err := client.Place(ctx, dist.Sample(rng))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.Opened {
+					openedSeen.Add(1)
+				}
+			}
+		}(g)
+	}
+	var readerWg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		readerWg.Add(1)
+		go func() {
+			defer readerWg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if _, err := client.Stats(ctx); err != nil {
+					errs <- err
+					return
+				}
+				stations, err := client.Stations(ctx)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(stations) < len(landmarks) {
+					errs <- fmt.Errorf("snapshot lost landmarks: %d stations", len(stations))
+					return
+				}
+				resp, err := http.Get(ts.URL + "/metrics")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := io.ReadAll(resp.Body); err != nil {
+					errs <- err
+					return
+				}
+				_ = resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	readerWg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	got, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Requests != writers*perWriter {
+		t.Errorf("requests=%d, want %d", got.Requests, writers*perWriter)
+	}
+	if got.Opened != openedSeen.Load() {
+		t.Errorf("opened counter %d, want %d observed by writers", got.Opened, openedSeen.Load())
+	}
+	if want := len(landmarks) + int(openedSeen.Load()); got.Stations != want {
+		t.Errorf("stations=%d, want %d (landmarks + opened)", got.Stations, want)
+	}
+	stations, err := client.Stations(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stations) != got.Stations {
+		t.Errorf("/v1/stations has %d entries, stats says %d", len(stations), got.Stations)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("esharing_requests_total %d\n", writers*perWriter)
+	if !strings.Contains(string(body), want) {
+		t.Errorf("metrics missing %q", want)
 	}
 }
 
