@@ -9,8 +9,11 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/energy"
@@ -261,8 +264,11 @@ func BenchmarkServerMixedLoad(b *testing.B) {
 		bodies[i] = []byte(fmt.Sprintf(`{"dest":{"x":%g,"y":%g}}`, q.X, q.Y))
 	}
 	var seq atomic.Int64
+	var latMu sync.Mutex
+	var latencies []time.Duration
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
+		local := make([]time.Duration, 0, 4096)
 		for pb.Next() {
 			i := int(seq.Add(1))
 			var req *http.Request
@@ -278,12 +284,28 @@ func BenchmarkServerMixedLoad(b *testing.B) {
 					bytes.NewReader(bodies[i%len(bodies)]))
 			}
 			rec := httptest.NewRecorder()
+			start := time.Now()
 			srv.ServeHTTP(rec, req)
+			local = append(local, time.Since(start))
 			if rec.Code != http.StatusOK {
 				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
 			}
 		}
+		latMu.Lock()
+		latencies = append(latencies, local...)
+		latMu.Unlock()
 	})
+	b.StopTimer()
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		pct := func(p float64) float64 {
+			idx := int(p * float64(len(latencies)-1))
+			return float64(latencies[idx])
+		}
+		b.ReportMetric(pct(0.50), "p50-ns")
+		b.ReportMetric(pct(0.99), "p99-ns")
+		b.ReportMetric(pct(0.999), "p999-ns")
+	}
 }
 
 func BenchmarkPeacockKSBrute60(b *testing.B) {

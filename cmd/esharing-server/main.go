@@ -12,6 +12,8 @@
 //
 //	esharing-server [-addr :8080] [-algorithm e-sharing|meyerson|online-kmeans]
 //	                [-opening 10000] [-seed 1] [-trips-csv history.csv]
+//	                [-max-inflight 256] [-pprof-addr :6060]
+//	                [-read-timeout 10s] [-write-timeout 30s] [-idle-timeout 2m]
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only via -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,6 +52,11 @@ func run(args []string) error {
 	tripsCSV := fs.String("trips-csv", "", "optional Mobike-schema CSV with historical trips; synthetic history is generated when empty")
 	historyDays := fs.Int("history-days", 7, "days of synthetic history when no CSV is given")
 	fleetSize := fs.Int("fleet", 0, "register this many bikes at the planned stations and enable the tier-2 endpoints")
+	maxInflight := fs.Int("max-inflight", server.DefaultMaxInFlight, "placement requests allowed to hold or queue for the decision lock; beyond this the server sheds with 429 + Retry-After")
+	pprofAddr := fs.String("pprof-addr", "", "optional address to serve net/http/pprof on (disabled when empty)")
+	readTimeout := fs.Duration("read-timeout", 10*time.Second, "http.Server ReadTimeout")
+	writeTimeout := fs.Duration("write-timeout", 30*time.Second, "http.Server WriteTimeout")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,13 +79,13 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("build fleet: %w", err)
 		}
-		handler, err = server.NewWithFleet(placer, fleet)
+		handler, err = server.NewWithFleet(placer, fleet, server.WithMaxInFlight(*maxInflight))
 		if err != nil {
 			return err
 		}
 		log.Printf("fleet of %d bikes registered; tier-2 endpoints enabled", *fleetSize)
 	} else {
-		handler, err = server.New(placer)
+		handler, err = server.New(placer, server.WithMaxInFlight(*maxInflight))
 		if err != nil {
 			return err
 		}
@@ -86,6 +94,25 @@ func run(args []string) error {
 		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+
+	if *pprofAddr != "" {
+		// net/http/pprof registers on DefaultServeMux, which the API
+		// server never serves, so profiling stays off the public port.
+		pprofSrv := &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           http.DefaultServeMux,
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
 	}
 
 	errc := make(chan error, 1)
@@ -110,6 +137,11 @@ func run(args []string) error {
 	}
 }
 
+// beijingCenter is the projection origin for synthetic history (the
+// paper's dataset is Beijing) and the fallback when a CSV carries no
+// decodable geohashes.
+var beijingCenter = geo.LatLng{Lat: 39.9042, Lng: 116.4074}
+
 func loadHistory(csvPath string, days int, seed uint64) ([]dataset.Trip, error) {
 	if csvPath != "" {
 		f, err := os.Open(csvPath)
@@ -117,8 +149,28 @@ func loadHistory(csvPath string, days int, seed uint64) ([]dataset.Trip, error) 
 			return nil, err
 		}
 		defer func() { _ = f.Close() }()
-		projector := geo.NewProjector(geo.LatLng{Lat: 39.9042, Lng: 116.4074})
-		return dataset.ReadCSV(f, projector)
+		// Parse first, then derive the projection centre from the
+		// data's own geohash bounding box: hard-coding Beijing would
+		// project any other city's trips hundreds of kilometres from
+		// the planar origin, far outside the tangent-plane regime.
+		trips, err := dataset.ReadCSV(f, nil)
+		if err != nil {
+			return nil, err
+		}
+		if len(trips) == 0 {
+			return trips, nil
+		}
+		center, err := dataset.GeohashCenter(trips)
+		if err != nil {
+			if !errors.Is(err, dataset.ErrNoGeohashes) {
+				return nil, err
+			}
+			center = beijingCenter
+		}
+		if err := dataset.ProjectTrips(trips, geo.NewProjector(center)); err != nil {
+			return nil, err
+		}
+		return trips, nil
 	}
 	return dataset.Generate(dataset.Config{Days: days, Seed: seed})
 }

@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/geo"
@@ -79,6 +80,72 @@ func TestLoadHistoryCSV(t *testing.T) {
 	}
 	if _, err := loadHistory(filepath.Join(t.TempDir(), "missing.csv"), 0, 0); err == nil {
 		t.Error("missing file should error")
+	}
+}
+
+// TestLoadHistoryNonBeijingCSV is the regression test for the
+// hard-coded projection centre: loadHistory used to project every CSV
+// around Beijing, so a New York dataset landed ~11,000 km from the
+// planar origin where the tangent-plane approximation is meaningless.
+// The centre must now come from the data's own geohash bounding box,
+// and the planned landmarks must sit inside the dataset's geography.
+func TestLoadHistoryNonBeijingCSV(t *testing.T) {
+	nyc := geo.LatLng{Lat: 40.7128, Lng: -74.0060}
+	var trips []dataset.Trip
+	for i := 0; i < 30; i++ {
+		d := 0.002 * float64(i%5) // spread trips over a few hundred metres
+		start, err := geo.EncodeGeohash(geo.LatLng{Lat: nyc.Lat + d, Lng: nyc.Lng - d}, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		end, err := geo.EncodeGeohash(geo.LatLng{Lat: nyc.Lat - d, Lng: nyc.Lng + d}, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trips = append(trips, dataset.Trip{
+			OrderID: int64(i + 1), UserID: 1, BikeID: 1,
+			StartTime:    time.Date(2017, 5, 10, 8, 0, i, 0, time.UTC),
+			StartGeohash: start, EndGeohash: end,
+		})
+	}
+	path := filepath.Join(t.TempDir(), "nyc.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteCSV(f, trips); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	history, err := loadHistory(path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(history) != len(trips) {
+		t.Fatalf("loaded %d trips, want %d", len(history), len(trips))
+	}
+	for _, tr := range history {
+		for _, p := range [2]geo.Point{tr.Start, tr.End} {
+			if !p.IsFinite() || p.Norm() > 50_000 {
+				t.Fatalf("trip %d projects to %v: projection centre not derived from the data", tr.OrderID, p)
+			}
+		}
+	}
+	// The offline plan must land inside the dataset's own geography.
+	landmarks, err := planLandmarks(dataset.EndPoints(history), 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(landmarks) == 0 {
+		t.Fatal("no landmarks planned")
+	}
+	for _, lm := range landmarks {
+		if lm.Norm() > 50_000 {
+			t.Errorf("landmark %v is outside the dataset's geography", lm)
+		}
 	}
 }
 

@@ -78,9 +78,9 @@ func (c ESharingConfig) validate() error {
 type ESharing struct {
 	cfg         ESharingConfig
 	baseOpening float64
-	f           float64 // working opening cost
-	k           int     // offline station count
-	landmarks   int     // stations[:landmarks] came from the offline solution
+	f           float64           // working opening cost
+	k           int               // offline station count
+	landmarks   int               // stations[:landmarks] came from the offline solution
 	index       *geo.DynamicIndex // established stations, in insertion order
 	penalty     Penalty
 	hist        []geo.Point

@@ -1,0 +1,63 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/geo"
+)
+
+// ErrNoGeohashes is returned by GeohashCenter when no trip carries a
+// decodable geohash to derive a projection centre from.
+var ErrNoGeohashes = errors.New("dataset: no geohashes to derive a projection centre from")
+
+// GeohashCenter returns the centre of the geodetic bounding box spanned
+// by every start and end geohash in trips. It is the natural projection
+// origin for a dataset of unknown geography: projecting a city's trips
+// around a far-away origin (e.g. the Beijing default against a European
+// dataset) yields planar coordinates hundreds of kilometres from zero,
+// where the tangent-plane approximation has visibly broken down.
+func GeohashCenter(trips []Trip) (geo.LatLng, error) {
+	minLat, minLng := 91.0, 181.0
+	maxLat, maxLng := -91.0, -181.0
+	seen := false
+	for _, t := range trips {
+		for _, h := range [2]string{t.StartGeohash, t.EndGeohash} {
+			if h == "" {
+				continue
+			}
+			ll, _, _, err := geo.DecodeGeohash(h)
+			if err != nil {
+				return geo.LatLng{}, fmt.Errorf("trip %d: %w", t.OrderID, err)
+			}
+			seen = true
+			minLat, maxLat = min(minLat, ll.Lat), max(maxLat, ll.Lat)
+			minLng, maxLng = min(minLng, ll.Lng), max(maxLng, ll.Lng)
+		}
+	}
+	if !seen {
+		return geo.LatLng{}, ErrNoGeohashes
+	}
+	return geo.LatLng{Lat: (minLat + maxLat) / 2, Lng: (minLng + maxLng) / 2}, nil
+}
+
+// ProjectTrips fills the planar Start/End of every trip from its
+// geohashes using projector, overwriting any previous projection.
+func ProjectTrips(trips []Trip, projector *geo.Projector) error {
+	if projector == nil {
+		return errors.New("dataset: nil projector")
+	}
+	for i := range trips {
+		start, _, _, err := geo.DecodeGeohash(trips[i].StartGeohash)
+		if err != nil {
+			return fmt.Errorf("trip %d start geohash: %w", trips[i].OrderID, err)
+		}
+		end, _, _, err := geo.DecodeGeohash(trips[i].EndGeohash)
+		if err != nil {
+			return fmt.Errorf("trip %d end geohash: %w", trips[i].OrderID, err)
+		}
+		trips[i].Start = projector.ToPlane(start)
+		trips[i].End = projector.ToPlane(end)
+	}
+	return nil
+}

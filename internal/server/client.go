@@ -4,29 +4,71 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
+	"time"
 
 	"repro/internal/geo"
 )
 
+// RetryPolicy controls Client's retry behaviour. Idempotent GETs are
+// retried on transport errors, 5xx and 429; non-idempotent requests are
+// retried only on 429, which the server's admission gate emits before
+// any state changes, so a retry can never double-apply a placement.
+// Backoff is exponential with half-range jitter; a 429's Retry-After
+// header, when present, overrides the computed backoff (capped at
+// MaxDelay). Retries stop early when the request context expires.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first;
+	// values <= 1 disable retrying.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further
+	// retry doubles it.
+	BaseDelay time.Duration
+	// MaxDelay caps the per-retry backoff.
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy is the policy Clients use unless overridden with
+// WithRetryPolicy: 4 attempts, 50ms base, 2s cap.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithRetryPolicy overrides the client's retry policy. Use
+// RetryPolicy{MaxAttempts: 1} to disable retries entirely.
+func WithRetryPolicy(p RetryPolicy) ClientOption {
+	return func(c *Client) { c.retry = p }
+}
+
 // Client is a typed HTTP client for the E-Sharing API.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry RetryPolicy
 }
 
 // NewClient builds a client against baseURL (e.g. "http://localhost:8080").
 // A nil httpClient uses http.DefaultClient.
-func NewClient(baseURL string, httpClient *http.Client) (*Client, error) {
+func NewClient(baseURL string, httpClient *http.Client, opts ...ClientOption) (*Client, error) {
 	if baseURL == "" {
 		return nil, fmt.Errorf("server: empty base URL")
 	}
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: baseURL, http: httpClient}, nil
+	c := &Client{base: baseURL, http: httpClient, retry: DefaultRetryPolicy()}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
 }
 
 // Place submits a trip destination and returns the parking decision.
@@ -58,35 +100,159 @@ func (c *Client) Health(ctx context.Context) error {
 }
 
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var reader io.Reader
+	var payload []byte
 	if body != nil {
-		buf, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
 			return fmt.Errorf("encode %s %s: %w", method, path, err)
 		}
-		reader = bytes.NewReader(buf)
+	}
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		done, err := c.attempt(ctx, method, path, payload, out, attempt == attempts-1)
+		if done {
+			return err
+		}
+		lastErr = err
+		delay := c.backoff(attempt, err)
+		if sleepErr := sleepCtx(ctx, delay); sleepErr != nil {
+			return fmt.Errorf("%w (retry aborted: %v)", lastErr, sleepErr)
+		}
+	}
+	return lastErr
+}
+
+// attempt runs one HTTP round trip. done=false means the error is
+// retryable and the caller should back off and try again.
+func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, out any, last bool) (done bool, _ error) {
+	var reader io.Reader
+	if payload != nil {
+		reader = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, reader)
 	if err != nil {
-		return fmt.Errorf("build %s %s: %w", method, path, err)
+		return true, fmt.Errorf("build %s %s: %w", method, path, err)
 	}
-	if body != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return fmt.Errorf("%s %s: %w", method, path, err)
-	}
-	defer func() { _ = resp.Body.Close() }()
-	if resp.StatusCode != http.StatusOK {
-		var apiErr errorBody
-		if decodeErr := json.NewDecoder(resp.Body).Decode(&apiErr); decodeErr == nil && apiErr.Error != "" {
-			return fmt.Errorf("%s %s: status %d: %s", method, path, resp.StatusCode, apiErr.Error)
+		// A transport error on a non-GET may have reached the server;
+		// only idempotent requests are safe to retry blindly.
+		wrapped := fmt.Errorf("%s %s: %w", method, path, err)
+		if method != http.MethodGet || last || ctx.Err() != nil {
+			return true, wrapped
 		}
-		return fmt.Errorf("%s %s: status %d", method, path, resp.StatusCode)
+		return false, wrapped
 	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("decode %s %s response: %w", method, path, err)
+	if resp.StatusCode == http.StatusOK {
+		decodeErr := json.NewDecoder(resp.Body).Decode(out)
+		drainClose(resp.Body)
+		if decodeErr != nil {
+			return true, fmt.Errorf("decode %s %s response: %w", method, path, decodeErr)
+		}
+		return true, nil
 	}
-	return nil
+
+	apiErr := readAPIError(resp) // drains and closes the body
+	wrapped := fmt.Errorf("%s %s: %w", method, path, apiErr)
+	retryable := resp.StatusCode == http.StatusTooManyRequests ||
+		(method == http.MethodGet && resp.StatusCode >= 500)
+	if !retryable || last || ctx.Err() != nil {
+		return true, wrapped
+	}
+	return false, wrapped
+}
+
+// StatusError is the typed error Client returns for non-OK responses,
+// exposing the status code (and Retry-After, when the server sent one)
+// to callers and to the retry loop.
+type StatusError struct {
+	Status     int
+	Message    string // server-provided error body, if any
+	RetryAfter time.Duration
+}
+
+func (e *StatusError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("status %d: %s", e.Status, e.Message)
+	}
+	return fmt.Sprintf("status %d", e.Status)
+}
+
+// readAPIError converts a non-OK response into a *StatusError, draining
+// the body so the underlying connection stays reusable.
+func readAPIError(resp *http.Response) *StatusError {
+	se := &StatusError{Status: resp.StatusCode}
+	var apiErr errorBody
+	if decodeErr := json.NewDecoder(resp.Body).Decode(&apiErr); decodeErr == nil {
+		se.Message = apiErr.Error
+	}
+	drainClose(resp.Body)
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			se.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return se
+}
+
+// backoff computes the sleep before retry number attempt+1:
+// exponential doubling from BaseDelay, capped at MaxDelay, with
+// half-range jitter so synchronised clients spread out. A server
+// Retry-After hint overrides the computed delay (still capped).
+func (c *Client) backoff(attempt int, err error) time.Duration {
+	maxDelay := c.retry.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 2 * time.Second
+	}
+	d := c.retry.BaseDelay
+	if d <= 0 {
+		d = 50 * time.Millisecond
+	}
+	for i := 0; i < attempt && d < maxDelay; i++ {
+		d *= 2
+	}
+	var se *StatusError
+	if errors.As(err, &se) && se.RetryAfter > 0 {
+		d = se.RetryAfter
+	}
+	if d > maxDelay {
+		d = maxDelay
+	}
+	// Half-range jitter: uniform in [d/2, d].
+	half := d / 2
+	if half > 0 {
+		d = half + rand.N(half+1)
+	}
+	return d
+}
+
+// sleepCtx sleeps for d unless ctx expires first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// drainClose discards up to 64 KiB of unread body before closing so the
+// HTTP transport can reuse the keep-alive connection; without the drain
+// every error response would tear down and re-dial the connection,
+// which compounds exactly when the server is shedding load.
+func drainClose(body io.ReadCloser) {
+	_, _ = io.CopyN(io.Discard, body, 64<<10)
+	_ = body.Close()
 }

@@ -1,0 +1,190 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// fastRetry is a retry policy with delays small enough for tests.
+func fastRetry(attempts int) RetryPolicy {
+	return RetryPolicy{MaxAttempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond}
+}
+
+func TestClientRetriesIdempotentGET(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprintln(w, `{"error":"transient"}`)
+			return
+		}
+		fmt.Fprintln(w, `{"algorithm":"stub","requests":7}`)
+	}))
+	defer ts.Close()
+	client, err := NewClient(ts.URL, ts.Client(), WithRetryPolicy(fastRetry(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := client.Stats(context.Background())
+	if err != nil {
+		t.Fatalf("GET should retry past two 500s: %v", err)
+	}
+	if stats.Requests != 7 {
+		t.Errorf("requests = %d, want 7", stats.Requests)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3 (two failures + success)", got)
+	}
+}
+
+func TestClientDoesNotRetryFailedPOST(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintln(w, `{"error":"boom"}`)
+	}))
+	defer ts.Close()
+	client, err := NewClient(ts.URL, ts.Client(), WithRetryPolicy(fastRetry(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Place(context.Background(), geo.Pt(1, 2)); err == nil {
+		t.Fatal("500 on POST should error")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls, want 1 (a 500 POST may have side effects)", got)
+	}
+}
+
+func TestClientRetries429WithRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintln(w, `{"error":"placement queue full"}`)
+			return
+		}
+		fmt.Fprintln(w, `{"station":{"x":5,"y":6},"stationIndex":0,"opened":true,"walkMeters":0}`)
+	}))
+	defer ts.Close()
+	client, err := NewClient(ts.URL, ts.Client(), WithRetryPolicy(fastRetry(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Place(context.Background(), geo.Pt(5, 6))
+	if err != nil {
+		t.Fatalf("POST should retry a 429 (shed before any state change): %v", err)
+	}
+	if resp.Station != geo.Pt(5, 6) {
+		t.Errorf("station = %v", resp.Station)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("server saw %d calls, want 2", got)
+	}
+}
+
+func TestClientRetryStopsAtDeadline(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintln(w, `{"error":"always down"}`)
+	}))
+	defer ts.Close()
+	client, err := NewClient(ts.URL, ts.Client(), WithRetryPolicy(RetryPolicy{
+		MaxAttempts: 1000, BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = client.Stats(ctx)
+	if err == nil {
+		t.Fatal("always-500 server should error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("retry loop outlived its deadline: %v", elapsed)
+	}
+	// Depending on where the deadline lands the error is either the last
+	// 500 or the transport's deadline error; both must reference the GET.
+	if !strings.Contains(err.Error(), "/v1/stats") {
+		t.Errorf("error lost its request context: %v", err)
+	}
+}
+
+func TestClientRetryDisabled(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	client, err := NewClient(ts.URL, ts.Client(), WithRetryPolicy(RetryPolicy{MaxAttempts: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Stats(context.Background()); err == nil {
+		t.Fatal("503 should error")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls, want 1", got)
+	}
+}
+
+// TestClientDrainsErrorBodies verifies the keep-alive fix: error
+// responses with unread payloads must be drained before close so the
+// transport reuses the connection instead of re-dialing on every error.
+func TestClientDrainsErrorBodies(t *testing.T) {
+	var conns atomic.Int32
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		// Error envelope followed by padding the JSON decoder won't
+		// consume: without a drain, Close tears down the connection.
+		fmt.Fprint(w, `{"error":"no capacity"}`)
+		fmt.Fprint(w, strings.Repeat(" ", 8<<10))
+	}))
+	ts.Config.ConnState = func(_ net.Conn, state http.ConnState) {
+		if state == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	ts.Start()
+	defer ts.Close()
+
+	client, err := NewClient(ts.URL, ts.Client(), WithRetryPolicy(RetryPolicy{MaxAttempts: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := client.Place(ctx, geo.Pt(1, 1)); err == nil {
+			t.Fatal("422 should error")
+		}
+	}
+	if got := conns.Load(); got != 1 {
+		t.Errorf("%d connections dialed for 5 sequential errors, want 1 (keep-alive broken)", got)
+	}
+}
+
+func TestStatusErrorMessage(t *testing.T) {
+	se := &StatusError{Status: 422, Message: "no capacity", RetryAfter: time.Second}
+	if se.Error() != "status 422: no capacity" {
+		t.Errorf("Error() = %q", se.Error())
+	}
+	bare := &StatusError{Status: 500}
+	if bare.Error() != "status 500" {
+		t.Errorf("Error() = %q", bare.Error())
+	}
+}

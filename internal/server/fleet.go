@@ -1,9 +1,7 @@
 package server
 
 import (
-	"encoding/json"
 	"errors"
-	"fmt"
 	"net/http"
 
 	"repro/internal/core"
@@ -48,19 +46,19 @@ type ChargingRequest struct {
 
 // NewWithFleet builds a Server that also manages a fleet for tier-2
 // operations.
-func NewWithFleet(placer core.OnlinePlacer, fleet *energy.Fleet) (*Server, error) {
+func NewWithFleet(placer core.OnlinePlacer, fleet *energy.Fleet, opts ...Option) (*Server, error) {
 	if fleet == nil {
 		return nil, errors.New("server: nil fleet")
 	}
-	s, err := New(placer)
+	s, err := New(placer, opts...)
 	if err != nil {
 		return nil, err
 	}
 	s.fleet = fleet
-	s.mux.HandleFunc("GET /v1/bikes", s.handleBikes)
-	s.mux.HandleFunc("POST /v1/bikes", s.handleAddBike)
-	s.mux.HandleFunc("POST /v1/rides", s.handleRide)
-	s.mux.HandleFunc("POST /v1/charging-round", s.handleChargingRound)
+	s.mux.HandleFunc("GET /v1/bikes", s.instrument(epBikes, s.handleBikes))
+	s.mux.HandleFunc("POST /v1/bikes", s.instrument(epAddBike, s.handleAddBike))
+	s.mux.HandleFunc("POST /v1/rides", s.instrument(epRide, s.handleRide))
+	s.mux.HandleFunc("POST /v1/charging-round", s.instrument(epCharging, s.handleChargingRound))
 	return s, nil
 }
 
@@ -138,14 +136,4 @@ func (s *Server) handleChargingRound(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, report)
-}
-
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decode request: %v", err)})
-		return false
-	}
-	return true
 }

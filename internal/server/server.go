@@ -2,11 +2,14 @@
 // requests stream in, parking decisions stream back (the paper's system
 // architecture, Fig. 3, steps ②–④). Placement decisions are
 // order-dependent, so POST /v1/requests serialises access to the
-// underlying online placer; the read endpoints (/v1/stations, /v1/stats,
-// /healthz, /metrics) are lock-free, served from atomic counters and a
-// station snapshot republished whenever a decision changes it, so
-// monitoring scrapes and dashboard polls never block the decision
-// stream.
+// underlying online placer behind a bounded admission gate: up to
+// MaxInFlight requests may hold or queue for the decision lock, and
+// anything beyond that is shed immediately with 429 + Retry-After so
+// goroutines never pile up unboundedly. Queued requests honour context
+// cancellation. The read endpoints (/v1/stations, /v1/stats, /healthz,
+// /metrics) are lock-free, served from atomic counters and a station
+// snapshot republished whenever a decision changes it, so monitoring
+// scrapes and dashboard polls never block the decision stream.
 package server
 
 import (
@@ -22,6 +25,12 @@ import (
 	"repro/internal/energy"
 	"repro/internal/geo"
 )
+
+// DefaultMaxInFlight is the admission-queue capacity used when no
+// WithMaxInFlight option is given: enough headroom that a benchmark
+// saturating every core never sheds, small enough that a stalled placer
+// cannot accumulate unbounded goroutines.
+const DefaultMaxInFlight = 256
 
 // PlaceRequest is the body of POST /v1/requests.
 type PlaceRequest struct {
@@ -49,6 +58,8 @@ type StatsResponse struct {
 	Opened         int64   `json:"opened"`
 	WalkTotal      float64 `json:"walkTotalMeters"`
 	Stations       int     `json:"stations"`
+	Errors         int64   `json:"errors"`
+	Shed           int64   `json:"shed"`
 	LastSimilarity float64 `json:"lastSimilarityPct,omitempty"`
 }
 
@@ -61,28 +72,49 @@ type errorBody struct {
 // endpoints. The stations slice is never mutated after publication — a
 // fresh copy is taken from the placer whenever a decision opens a
 // station — so concurrent readers may share it without copying.
+// stationsJSON memoises the marshalled /v1/stations body: the station
+// set only changes when a new snapshot is published, so every reader
+// between publications shares one encoding instead of re-marshalling
+// thousands of points per poll.
 type readSnapshot struct {
 	stations []geo.Point
 	lastSim  float64
 	hasSim   bool // placer is a *core.ESharing with a similarity figure
+
+	stationsJSON atomic.Pointer[[]byte]
 }
 
 // Server wraps an online placer behind an HTTP API; NewWithFleet adds
 // tier-2 fleet endpoints.
 type Server struct {
-	mu     sync.Mutex // serialises placement decisions (order-dependent)
 	placer core.OnlinePlacer
 	name   string // placer.Name(), cached so reads never touch the placer
+
+	// decision is a capacity-1 channel used as the placement lock
+	// (send = acquire, receive = release): unlike a sync.Mutex, a
+	// queued request can abandon the wait when its context is
+	// cancelled. queue bounds how many requests may hold or wait for
+	// the lock; when it is full, handlePlace sheds with 429.
+	decision    chan struct{}
+	queue       chan struct{}
+	maxInFlight int
 
 	fleetMu sync.Mutex    // guards fleet independently of the decision lock
 	fleet   *energy.Fleet // nil unless built with NewWithFleet
 
-	// Counters are written only under mu (single writer) and read
-	// lock-free by the stats/metrics handlers. walkBits holds the
-	// math.Float64bits of the cumulative walk distance.
+	// Counters are written only under the decision lock (single
+	// writer) and read lock-free by the stats/metrics handlers.
+	// walkBits holds the math.Float64bits of the cumulative walk
+	// distance.
 	requests atomic.Int64
 	opened   atomic.Int64
 	walkBits atomic.Uint64
+
+	// Serving-path instrumentation, all lock-free (see metrics.go).
+	shed      atomic.Int64 // 429s from the admission gate
+	errors    atomic.Int64 // all >=400 responses across endpoints
+	inflight  atomic.Int64 // HTTP requests currently being served
+	endpoints [numEndpoints]endpointMetrics
 
 	snap atomic.Pointer[readSnapshot]
 
@@ -91,18 +123,42 @@ type Server struct {
 
 var _ http.Handler = (*Server)(nil)
 
+// Option configures a Server.
+type Option func(*Server)
+
+// WithMaxInFlight bounds how many placement requests may hold or queue
+// for the decision lock at once; requests beyond the bound are shed
+// with 429 Too Many Requests. Values < 1 keep DefaultMaxInFlight.
+func WithMaxInFlight(n int) Option {
+	return func(s *Server) {
+		if n >= 1 {
+			s.maxInFlight = n
+		}
+	}
+}
+
 // New builds a Server around placer.
-func New(placer core.OnlinePlacer) (*Server, error) {
+func New(placer core.OnlinePlacer, opts ...Option) (*Server, error) {
 	if placer == nil {
 		return nil, errors.New("server: nil placer")
 	}
-	s := &Server{placer: placer, name: placer.Name(), mux: http.NewServeMux()}
+	s := &Server{
+		placer:      placer,
+		name:        placer.Name(),
+		maxInFlight: DefaultMaxInFlight,
+		decision:    make(chan struct{}, 1),
+		mux:         http.NewServeMux(),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.queue = make(chan struct{}, s.maxInFlight)
 	s.publishSnapshot()
-	s.mux.HandleFunc("POST /v1/requests", s.handlePlace)
-	s.mux.HandleFunc("GET /v1/stations", s.handleStations)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/requests", s.instrument(epPlace, s.handlePlace))
+	s.mux.HandleFunc("GET /v1/stations", s.instrument(epStations, s.handleStations))
+	s.mux.HandleFunc("GET /v1/stats", s.instrument(epStats, s.handleStats))
+	s.mux.HandleFunc("GET /healthz", s.instrument(epHealth, s.handleHealth))
+	s.mux.HandleFunc("GET /metrics", s.instrument(epMetrics, s.handleMetrics))
 	return s, nil
 }
 
@@ -111,10 +167,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// publishSnapshot republishes the read-side state. Called under mu
-// (or before the server is serving) whenever the station set or the
-// similarity figure may have changed; it copies the station slice, so
-// callers should skip it when nothing changed.
+// publishSnapshot republishes the read-side state. Called under the
+// decision lock (or before the server is serving) whenever the station
+// set or the similarity figure may have changed; it copies the station
+// slice, so callers should skip it when nothing changed.
 func (s *Server) publishSnapshot() {
 	snap := &readSnapshot{stations: s.placer.Stations()}
 	if es, ok := s.placer.(*core.ESharing); ok {
@@ -141,16 +197,18 @@ func (s *Server) refreshAfterPlace(opened bool) {
 		return
 	}
 	if sim := es.LastSimilarity(); sim != cur.lastSim {
-		s.snap.Store(&readSnapshot{stations: cur.stations, lastSim: sim, hasSim: true})
+		next := &readSnapshot{stations: cur.stations, lastSim: sim, hasSim: true}
+		// The station set is unchanged, so the cached encoding carries over.
+		if b := cur.stationsJSON.Load(); b != nil {
+			next.stationsJSON.Store(b)
+		}
+		s.snap.Store(next)
 	}
 }
 
 func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	var req PlaceRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decode request: %v", err)})
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	if !req.Dest.IsFinite() {
@@ -158,7 +216,29 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.mu.Lock()
+	// Admission gate: claim a queue slot or shed immediately. Shedding
+	// here — before touching the decision lock — keeps the 429 path
+	// O(1) no matter how stalled the placer is.
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests,
+			errorBody{Error: fmt.Sprintf("placement queue full (%d in flight)", s.maxInFlight)})
+		return
+	}
+	defer func() { <-s.queue }()
+
+	// Wait for the decision lock, abandoning the wait if the client
+	// gives up first.
+	select {
+	case s.decision <- struct{}{}:
+	case <-r.Context().Done():
+		writeJSON(w, statusClientClosedRequest,
+			errorBody{Error: "request canceled while queued for placement"})
+		return
+	}
 	decision, err := s.placer.Place(req.Dest)
 	if err == nil {
 		s.requests.Add(1)
@@ -169,7 +249,7 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		s.walkBits.Store(math.Float64bits(walk))
 		s.refreshAfterPlace(decision.Opened)
 	}
-	s.mu.Unlock()
+	<-s.decision
 
 	if err != nil {
 		writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: err.Error()})
@@ -184,7 +264,21 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStations(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, StationsResponse{Stations: s.snap.Load().stations})
+	snap := s.snap.Load()
+	if b := snap.stationsJSON.Load(); b != nil {
+		writeJSONBytes(w, *b)
+		return
+	}
+	buf, err := json.Marshal(StationsResponse{Stations: snap.stations})
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: fmt.Sprintf("encode stations: %v", err)})
+		return
+	}
+	buf = append(buf, '\n')
+	// Concurrent first readers may both marshal; last store wins and
+	// the results are identical, so this race is benign.
+	snap.stationsJSON.Store(&buf)
+	writeJSONBytes(w, buf)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -195,6 +289,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Opened:    s.opened.Load(),
 		WalkTotal: math.Float64frombits(s.walkBits.Load()),
 		Stations:  len(snap.stations),
+		Errors:    s.errors.Load(),
+		Shed:      s.shed.Load(),
 	}
 	if snap.hasSim {
 		resp.LastSimilarity = snap.lastSim
@@ -204,6 +300,32 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// decodeBody decodes a JSON request body into v, writing the error
+// response itself when decoding fails (413 when the body blew through
+// the http.MaxBytesReader cap, 400 otherwise).
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorBody{Error: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)})
+			return false
+		}
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decode request: %v", err)})
+		return false
+	}
+	return true
+}
+
+// writeJSONBytes serves a pre-encoded JSON body.
+func writeJSONBytes(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
