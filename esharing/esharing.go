@@ -28,11 +28,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand/v2"
 
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/geo"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // Point is a planar location in metres.
@@ -43,6 +45,12 @@ type Point struct {
 
 // Pt is shorthand for constructing a Point.
 func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// NewRNG returns a deterministic seeded random source — the same
+// construction the system uses internally — for generating reproducible
+// synthetic demand to feed PlanOffline or Request. Equal seeds yield
+// identical streams on every platform.
+func NewRNG(seed uint64) *rand.Rand { return stats.NewRNG(seed) }
 
 // Dist returns the Euclidean distance to q in metres.
 func (p Point) Dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }

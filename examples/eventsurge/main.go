@@ -8,7 +8,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand/v2"
 
 	"repro/esharing"
 )
@@ -27,7 +26,7 @@ func run() error {
 		return err
 	}
 
-	rng := rand.New(rand.NewPCG(11, 12))
+	rng := esharing.NewRNG(11)
 	downtown := func() esharing.Point {
 		return esharing.Pt(500+rng.NormFloat64()*150, 500+rng.NormFloat64()*150)
 	}

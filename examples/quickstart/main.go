@@ -6,7 +6,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand/v2"
 
 	"repro/esharing"
 )
@@ -25,7 +24,7 @@ func run() error {
 
 	// Historical destinations: three POI clusters (office, subway,
 	// residential).
-	rng := rand.New(rand.NewPCG(42, 43))
+	rng := esharing.NewRNG(42)
 	centers := []esharing.Point{
 		esharing.Pt(400, 400), esharing.Pt(1600, 500), esharing.Pt(1000, 1400),
 	}

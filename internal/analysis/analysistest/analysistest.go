@@ -1,0 +1,135 @@
+// Package analysistest runs a lintkit analyzer over a golden testdata
+// package and checks its diagnostics against // want comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest:
+//
+//	rng := rand.New(rand.NewPCG(1, 2)) // want `bypasses the seed discipline`
+//
+// A want comment carries one or more double- or back-quoted regular
+// expressions; every expectation on a line must be matched by a
+// diagnostic on that line, and every diagnostic must be expected.
+// Testdata packages live under testdata/src/<dir> and are loaded under
+// a caller-chosen import path, so path-scoped analyzers can be
+// exercised against the production package paths they guard.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/lintkit"
+	"repro/internal/analysis/load"
+)
+
+// Run loads testdata/src/<dir> as import path pkgPath, applies the
+// analyzer, and reports any mismatch between diagnostics and // want
+// expectations as test errors.
+func Run(t *testing.T, dir, pkgPath string, analyzer *lintkit.Analyzer) {
+	t.Helper()
+	pkg, err := load.Dir(filepath.Join("testdata", "src", dir), pkgPath)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	diags, err := lintkit.Run(pkg.Fset, pkg.Files, pkg.Path, pkg.Types, pkg.Info, []*lintkit.Analyzer{analyzer})
+	if err != nil {
+		t.Fatalf("run %s: %v", analyzer.Name, err)
+	}
+	checkExpectations(t, pkg, diags)
+}
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// checkExpectations cross-matches diagnostics against want comments.
+func checkExpectations(t *testing.T, pkg *load.Package, diags []lintkit.Diagnostic) {
+	t.Helper()
+	wants := map[string][]*expectation{} // "file:line" -> expectations
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				patterns, err := parseWant(c.Text)
+				if err != nil {
+					t.Fatalf("%s: %v", pkg.Fset.Position(c.Pos()), err)
+				}
+				if len(patterns) == 0 {
+					continue
+				}
+				key := lineKey(pkg.Fset.Position(c.Pos()))
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pkg.Fset.Position(c.Pos()), p, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, exp := range wants[lineKey(pos)] {
+			if exp.re.MatchString(d.Message) {
+				exp.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
+		}
+	}
+	for key, exps := range wants {
+		for _, exp := range exps {
+			if !exp.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, exp.re)
+			}
+		}
+	}
+}
+
+func lineKey(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+}
+
+// parseWant extracts the quoted patterns from a // want comment, or nil
+// when the comment is not a want comment.
+func parseWant(comment string) ([]string, error) {
+	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	rest, ok := strings.CutPrefix(text, "want ")
+	if !ok {
+		return nil, nil
+	}
+	var patterns []string
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		switch rest[0] {
+		case '"':
+			pattern, err := strconv.QuotedPrefix(rest)
+			if err != nil {
+				return nil, fmt.Errorf("malformed want pattern %q", rest)
+			}
+			unquoted, _ := strconv.Unquote(pattern)
+			patterns = append(patterns, unquoted)
+			rest = strings.TrimSpace(rest[len(pattern):])
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want pattern %q", rest)
+			}
+			patterns = append(patterns, rest[1:1+end])
+			rest = strings.TrimSpace(rest[2+end:])
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted, got %q", rest)
+		}
+	}
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("want comment carries no patterns")
+	}
+	return patterns, nil
+}

@@ -1,0 +1,20 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/floateq"
+)
+
+func TestGeoPackageFlagged(t *testing.T) {
+	analysistest.Run(t, "cmp", "repro/internal/geo", floateq.Analyzer)
+}
+
+// TestOutOfScopePackage loads the same sources under a path outside the
+// float-arithmetic packages; the analyzer must stay silent, so the run
+// is inverted: every want expectation failing to match would be an
+// error, hence a want-free clean copy is used.
+func TestOutOfScopePackage(t *testing.T) {
+	analysistest.Run(t, "outofscope", "repro/internal/server", floateq.Analyzer)
+}

@@ -1,0 +1,35 @@
+// Package cmp exercises floateq: exact float comparisons are flagged,
+// integer comparisons and waived sentinel checks are not.
+package cmp
+
+func equal(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func notEqual(a, b float32) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+func nearLiteral(d float64) bool {
+	return d == 0 // want `floating-point == comparison`
+}
+
+// ints are exact; no finding.
+func intsEqual(a, b int) bool {
+	return a == b
+}
+
+// epsilonish is the approved shape.
+func epsilonish(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+// sentinel compares against an exact-by-construction zero and is
+// waived on the record.
+func sentinel(weight float64) bool {
+	return weight == 0 //esharing:allow floateq
+}

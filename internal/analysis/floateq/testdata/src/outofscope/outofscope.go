@@ -1,0 +1,7 @@
+// Package outofscope holds float comparisons under a path floateq does
+// not cover; nothing is flagged.
+package outofscope
+
+func equal(a, b float64) bool {
+	return a == b
+}

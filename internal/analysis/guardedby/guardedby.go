@@ -1,0 +1,166 @@
+// Package guardedby enforces the documented lock discipline that PRs 1
+// and 2 split the server's single mutex into. Struct fields annotated
+//
+//	// guarded by <lock>
+//
+// (in the field's doc or trailing comment) may only be accessed inside
+// functions that demonstrably hold that lock: either the function body
+// acquires it — a sync.Mutex/RWMutex Lock()/RLock() call, or a send on
+// a capacity-1 channel used as a lock (the server's decision channel) —
+// or the function's doc comment declares "caller holds <lock>". The
+// check is name-based and intra-procedural: it cannot prove a lock is
+// held at the exact access, but it catches the regression that matters
+// in practice — a new code path touching guarded state with no lock in
+// sight. Constructor-time accesses before the value is shared can be
+// waived with //esharing:allow guardedby and a justification.
+package guardedby
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"repro/internal/analysis/lintkit"
+)
+
+// Analyzer is the guardedby check.
+var Analyzer = &lintkit.Analyzer{
+	Name: "guardedby",
+	Doc: "fields annotated '// guarded by <lock>' may only be accessed in functions that " +
+		"acquire that lock (Lock/RLock or a channel-lock send) or are annotated 'caller holds <lock>'",
+	Run: run,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+func run(pass *lintkit.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			held := heldLocks(fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				field := fieldOf(pass.Info, sel)
+				if field == nil {
+					return true
+				}
+				lock, guarded := guards[field]
+				if !guarded || held[lock] {
+					return true
+				}
+				pass.Reportf(sel.Sel.Pos(),
+					"%s is guarded by %s, but %s neither acquires %s nor is annotated 'caller holds %s'",
+					field.Name(), lock, fn.Name.Name, lock, lock)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// collectGuards maps annotated field objects to the lock name guarding
+// them, scanning every struct type in the package.
+func collectGuards(pass *lintkit.Pass) map[*types.Var]string {
+	guards := map[*types.Var]string{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				lock := guardAnnotation(field)
+				if lock == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+						guards[v] = lock
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// fieldOf resolves sel to the struct field object it selects, or nil
+// when sel is not a field selection.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	return selection.Obj().(*types.Var)
+}
+
+// heldLocks computes the set of lock names fn holds anywhere in its
+// body, by acquisition or by doc-comment contract. Function literals
+// nested in fn inherit its set — the closures the server registers as
+// handlers acquire locks in their own bodies, which this scan sees.
+func heldLocks(fn *ast.FuncDecl) map[string]bool {
+	held := map[string]bool{}
+	for _, name := range lintkit.CallerHolds(fn.Doc) {
+		held[name] = true
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// s.mu.Lock() / s.mu.RLock(): the receiver's selector names
+			// the lock field.
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+				return true
+			}
+			if name := innerName(sel.X); name != "" {
+				held[name] = true
+			}
+		case *ast.SendStmt:
+			// s.decision <- struct{}{}: capacity-1 channel used as a
+			// lock; send acquires, receive releases.
+			if name := innerName(n.Chan); name != "" {
+				held[name] = true
+			}
+		}
+		return true
+	})
+	return held
+}
+
+// innerName extracts the terminal identifier of x: the field name for
+// s.mu, the identifier itself for a plain mu.
+func innerName(x ast.Expr) string {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.Ident:
+		return x.Name
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/guardedby"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, "locks", "repro/internal/server", guardedby.Analyzer)
+}

@@ -1,0 +1,64 @@
+// Package locks exercises guardedby: annotated fields accessed without
+// the lock are flagged; Lock/RLock acquisition, channel-lock sends and
+// "caller holds" contracts are all recognised.
+package locks
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	// count is the running total.
+	// guarded by mu
+	count int
+
+	rw    sync.RWMutex
+	table map[string]int // guarded by rw
+
+	// decision is a capacity-1 channel used as the placement lock
+	// (send = acquire, receive = release).
+	decision chan struct{}
+	placer   string // guarded by decision
+}
+
+func (s *store) locked() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// contract relies on the documented discipline: caller holds mu.
+func (s *store) contract() int {
+	return s.count
+}
+
+func (s *store) unlocked() int {
+	return s.count // want `count is guarded by mu, but unlocked neither acquires mu`
+}
+
+func (s *store) readLocked(key string) int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.table[key]
+}
+
+func (s *store) readUnlocked(key string) int {
+	return s.table[key] // want `table is guarded by rw, but readUnlocked neither acquires rw`
+}
+
+func (s *store) channelLocked() string {
+	s.decision <- struct{}{}
+	defer func() { <-s.decision }()
+	return s.placer
+}
+
+func (s *store) channelUnlocked() string {
+	return s.placer // want `placer is guarded by decision, but channelUnlocked neither acquires decision`
+}
+
+// newStore builds an unshared value; the constructor-time write is
+// waived explicitly.
+func newStore() *store {
+	s := &store{decision: make(chan struct{}, 1)}
+	s.count = 1 //esharing:allow guardedby
+	return s
+}

@@ -1,0 +1,71 @@
+// Package hotpathalloc keeps the fmt slow path out of functions marked
+//
+//	//esharing:hotpath
+//
+// in their doc comment. The marked set is the placement decision path
+// (the placers' Place methods run once per trip request, serialised
+// behind the server's decision lock) and the /metrics scrape path
+// (polled continuously by monitoring; PR 2 moved it to pre-rendered
+// line prefixes + strconv.Append*). fmt.Sprintf/Errorf/Sprint/Sprintln
+// reflect over their arguments and allocate on every call — even on
+// "cold" error branches inside a hot function they are one refactor
+// away from the fast path, so the marked functions use typed errors,
+// pre-rendered strings and strconv appends instead. Function literals
+// nested in a marked function inherit the budget.
+package hotpathalloc
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis/lintkit"
+)
+
+// Directive marks a function as being on an allocation-budgeted hot
+// path.
+const Directive = "esharing:hotpath"
+
+// bannedFmtFuncs are the fmt constructors that reflect and allocate.
+// Fprintf into an existing buffer is deliberately not banned: the
+// scrape path's top-level gauges use it once per family, not per
+// sample.
+var bannedFmtFuncs = map[string]bool{
+	"Sprintf": true, "Errorf": true, "Sprint": true, "Sprintln": true,
+}
+
+// Analyzer is the hotpathalloc check.
+var Analyzer = &lintkit.Analyzer{
+	Name: "hotpathalloc",
+	Doc: "forbid fmt.Sprintf/Errorf/Sprint/Sprintln in functions marked //esharing:hotpath " +
+		"(the Place decision path and the /metrics scrape path)",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !lintkit.HasDirective(fn.Doc, Directive) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := lintkit.FuncOf(pass.Info, call)
+				if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "fmt" ||
+					!bannedFmtFuncs[callee.Name()] {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"fmt.%s allocates on the //esharing:hotpath function %s; use typed errors, pre-rendered strings or strconv appends",
+					callee.Name(), fn.Name.Name)
+				return true
+			})
+		}
+	}
+	return nil
+}

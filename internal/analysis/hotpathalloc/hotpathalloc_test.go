@@ -1,0 +1,12 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hotpathalloc"
+)
+
+func TestHotPathBudget(t *testing.T) {
+	analysistest.Run(t, "hot", "repro/internal/core", hotpathalloc.Analyzer)
+}

@@ -1,0 +1,55 @@
+// Package hot exercises hotpathalloc: fmt constructors inside
+// //esharing:hotpath functions are flagged, including in nested
+// closures; unmarked functions and allocation-free rendering are fine.
+package hot
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+var errNegative = errors.New("negative request")
+
+// place is on the decision hot path.
+//
+//esharing:hotpath
+func place(x int) (string, error) {
+	if x < 0 {
+		return "", fmt.Errorf("bad request %d", x) // want `fmt\.Errorf allocates on the //esharing:hotpath function place`
+	}
+	return fmt.Sprintf("station-%d", x), nil // want `fmt\.Sprintf allocates on the //esharing:hotpath function place`
+}
+
+// scrape renders counters with strconv appends; clean.
+//
+//esharing:hotpath
+func scrape(buf []byte, v int64) []byte {
+	buf = append(buf, "esharing_requests_total "...)
+	return strconv.AppendInt(buf, v, 10)
+}
+
+// placeTyped is the approved error shape: a prebuilt typed error.
+//
+//esharing:hotpath
+func placeTyped(x int) (int, error) {
+	if x < 0 {
+		return 0, errNegative
+	}
+	return x, nil
+}
+
+// observe inherits the budget into its deferred closure.
+//
+//esharing:hotpath
+func observe(f func() int) (s string) {
+	defer func() {
+		s = fmt.Sprint(f()) // want `fmt\.Sprint allocates on the //esharing:hotpath function observe`
+	}()
+	return
+}
+
+// cold is unmarked: fmt is fine off the hot paths.
+func cold(x int) error {
+	return fmt.Errorf("cold path %d", x)
+}

@@ -1,0 +1,40 @@
+package lintkit
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// HasDirective reports whether the function's doc comment carries the
+// given //esharing:<name> directive (e.g. "esharing:hotpath").
+// Directives are machine-readable markers, so only exact comment lines
+// count — prose mentioning the directive does not.
+func HasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+var callerHoldsRe = regexp.MustCompile(`caller holds ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// CallerHolds extracts the lock names a function's doc comment declares
+// as held by the caller ("// caller holds mu"). The guardedby analyzer
+// treats such functions as holding those locks without acquiring them.
+func CallerHolds(doc *ast.CommentGroup) []string {
+	if doc == nil {
+		return nil
+	}
+	var names []string
+	for _, m := range callerHoldsRe.FindAllStringSubmatch(doc.Text(), -1) {
+		names = append(names, m[1])
+	}
+	return names
+}

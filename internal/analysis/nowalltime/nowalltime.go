@@ -1,0 +1,62 @@
+// Package nowalltime forbids wall-clock reads (time.Now, time.Since,
+// time.Tick) in the deterministic packages: core, sim, forecast, stats
+// and energy must produce identical outputs for identical seeds and
+// inputs, so simulated time is threaded through explicitly (periods,
+// trip timestamps) and wall time belongs to the serving layer
+// (internal/server, cmd/). Using the time package for durations,
+// timestamps parsed from data, or time arithmetic is fine — only
+// sampling the actual clock is flagged.
+package nowalltime
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis/lintkit"
+)
+
+// deterministicPkgs are the packages whose outputs must be a pure
+// function of (seed, inputs).
+var deterministicPkgs = []string{
+	"repro/internal/core",
+	"repro/internal/sim",
+	"repro/internal/forecast",
+	"repro/internal/stats",
+	"repro/internal/energy",
+}
+
+// clockFuncs are the time functions that read the wall clock.
+var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true, "Tick": true}
+
+// Analyzer is the nowalltime check.
+var Analyzer = &lintkit.Analyzer{
+	Name: "nowalltime",
+	Doc: "forbid wall-clock reads (time.Now/Since/Until/Tick) in the deterministic packages " +
+		"(core, sim, forecast, stats, energy); wall time belongs to internal/server and cmd/",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) error {
+	if !lintkit.PathWithinAny(pass.Path, deterministicPkgs...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lintkit.FuncOf(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !clockFuncs[fn.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"time.%s reads the wall clock in deterministic package %s; thread simulated time through explicitly",
+				fn.Name(), pass.Path)
+			return true
+		})
+	}
+	return nil
+}

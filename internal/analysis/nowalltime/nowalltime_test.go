@@ -1,0 +1,16 @@
+package nowalltime_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nowalltime"
+)
+
+func TestDeterministicPackageFlagged(t *testing.T) {
+	analysistest.Run(t, "det", "repro/internal/sim", nowalltime.Analyzer)
+}
+
+func TestServerPackageExempt(t *testing.T) {
+	analysistest.Run(t, "srv", "repro/internal/server", nowalltime.Analyzer)
+}

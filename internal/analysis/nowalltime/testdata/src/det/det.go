@@ -1,0 +1,27 @@
+// Package det exercises nowalltime under a deterministic package path:
+// clock reads are flagged, pure time arithmetic is not.
+package det
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want `time\.Until reads the wall clock`
+}
+
+// double is pure duration arithmetic — no clock involved.
+func double(d time.Duration) time.Duration {
+	return 2 * d
+}
+
+// parse consumes a timestamp from data, which is deterministic.
+func parse(s string) (time.Time, error) {
+	return time.Parse(time.RFC3339, s)
+}

@@ -1,0 +1,10 @@
+// Package srv is loaded under repro/internal/server, where wall time
+// is the serving layer's business; nothing here is flagged.
+package srv
+
+import "time"
+
+func observeLatency(h func(time.Duration)) func() {
+	start := time.Now()
+	return func() { h(time.Since(start)) }
+}

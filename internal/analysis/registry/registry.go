@@ -1,0 +1,23 @@
+// Package registry lists the analyzers that make up the esharing-lint
+// suite, in the order they run and appear in documentation.
+package registry
+
+import (
+	"repro/internal/analysis/floateq"
+	"repro/internal/analysis/guardedby"
+	"repro/internal/analysis/hotpathalloc"
+	"repro/internal/analysis/lintkit"
+	"repro/internal/analysis/nowalltime"
+	"repro/internal/analysis/seededrand"
+)
+
+// All returns the full esharing-lint analyzer suite.
+func All() []*lintkit.Analyzer {
+	return []*lintkit.Analyzer{
+		seededrand.Analyzer,
+		nowalltime.Analyzer,
+		guardedby.Analyzer,
+		floateq.Analyzer,
+		hotpathalloc.Analyzer,
+	}
+}

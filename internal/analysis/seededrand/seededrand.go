@@ -1,0 +1,72 @@
+// Package seededrand forbids direct use of math/rand and math/rand/v2
+// package-level randomness outside internal/stats. The placers are
+// stochastic algorithms whose bit-identical reproducibility is the
+// point of the reproduction, so every random stream must either come
+// from stats.NewRNG / stats.NewRNGStream (explicit seed, documented
+// stream separation) or be injected as a *rand.Rand so the caller owns
+// the seed. Referencing rand types (*rand.Rand in signatures and
+// fields) is fine; calling rand.New, rand.NewPCG, or any top-level
+// convenience function (rand.N, rand.Float64, rand.Shuffle, ...) is
+// not.
+package seededrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/lintkit"
+)
+
+// statsPath is the one package allowed to construct rand sources: it is
+// where the seed discipline is implemented.
+const statsPath = "repro/internal/stats"
+
+// Analyzer is the seededrand check.
+var Analyzer = &lintkit.Analyzer{
+	Name: "seededrand",
+	Doc: "forbid math/rand(/v2) package-level randomness outside internal/stats; " +
+		"route all streams through stats.NewRNG/NewRNGStream or an injected *rand.Rand",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) error {
+	if lintkit.PathWithin(pass.Path, statsPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// Only package-qualified selectors: rand.X with rand being
+			// the math/rand or math/rand/v2 import, under any alias.
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pkgName.Imported().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			// Types (rand.Rand, rand.Source, rand.PCG in declarations)
+			// carry no randomness; everything else — constructors,
+			// top-level draws, the global Source — does.
+			if _, isType := pass.Info.Uses[sel.Sel].(*types.TypeName); isType {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"%s.%s bypasses the seed discipline: construct streams with stats.NewRNG/stats.NewRNGStream or accept an injected *rand.Rand",
+				id.Name, sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/seededrand"
+)
+
+func TestFlaggedOutsideStats(t *testing.T) {
+	analysistest.Run(t, "flagged", "repro/internal/core", seededrand.Analyzer)
+}
+
+func TestStatsPackageExempt(t *testing.T) {
+	analysistest.Run(t, "statspkg", "repro/internal/stats", seededrand.Analyzer)
+}

@@ -1,0 +1,32 @@
+// Package flagged exercises seededrand: loaded under a deterministic
+// production path, every package-level math/rand/v2 use must be
+// reported; injected *rand.Rand streams and type references are fine.
+package flagged
+
+import "math/rand/v2"
+
+// newHandRolled is the pattern the analyzer exists to kill: an ad-hoc
+// PCG with a local magic constant instead of stats.NewRNG.
+func newHandRolled(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0xdeadbeef)) // want `rand\.New bypasses the seed discipline` `rand\.NewPCG bypasses the seed discipline`
+}
+
+// drawGlobal uses the process-global generator, which is seeded from
+// runtime entropy and unreproducible.
+func drawGlobal() float64 {
+	return rand.Float64() // want `rand\.Float64 bypasses the seed discipline`
+}
+
+func rollGlobal(n int) int {
+	return rand.IntN(n) // want `rand\.IntN bypasses the seed discipline`
+}
+
+// drawInjected is the approved shape: the caller owns the stream.
+func drawInjected(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+// shuffleWaived shows the escape hatch for a justified exception.
+func shuffleWaived(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) //esharing:allow seededrand
+}

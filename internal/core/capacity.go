@@ -64,7 +64,9 @@ func AssignCapacitated(p *Problem, open []int, capacity []float64) (*Solution, C
 					"core: demand %d (%.1f arrivals) fits no remaining capacity", j, p.Demands[j].Arrivals)
 			}
 			regret := c2 - c1 // +Inf when only one feasible station remains
-			if bestJ < 0 || regret > bestRegret || (regret == bestRegret && c1 < bestCost) {
+			// Exact tie on the regret deliberately falls through to the
+			// cheaper assignment, keeping the heuristic deterministic.
+			if bestJ < 0 || regret > bestRegret || (regret == bestRegret && c1 < bestCost) { //esharing:allow floateq
 				bestJ, bestRegret, bestCost, bestK = j, regret, c1, k1
 			}
 		}

@@ -1,0 +1,20 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+)
+
+// NonFiniteError reports a placement request whose destination carries
+// a NaN or infinite coordinate. It is a typed error (rather than an
+// inline fmt.Errorf) because the Place implementations are hot-path
+// code: constructing it is a single small allocation, and the message
+// is only formatted if something actually reads Error().
+type NonFiniteError struct {
+	Dest geo.Point
+}
+
+func (e *NonFiniteError) Error() string {
+	return fmt.Sprintf("core: non-finite destination %v", e.Dest)
+}

@@ -145,14 +145,16 @@ func NewESharing(offline []geo.Point, baseOpening float64, hist []geo.Point, cfg
 		penalty:   pen,
 		hist:      append([]geo.Point(nil), hist...),
 		lastSim:   100,
-		rng:       rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x27d4eb2f)),
+		rng:       stats.NewRNGStream(cfg.Seed, stats.StreamESharing),
 	}, nil
 }
 
 // Place implements OnlinePlacer.
+//
+//esharing:hotpath
 func (e *ESharing) Place(dest geo.Point) (Decision, error) {
 	if !dest.IsFinite() {
-		return Decision{}, fmt.Errorf("core: non-finite destination %v", dest)
+		return Decision{}, &NonFiniteError{Dest: dest}
 	}
 	e.requests++
 	e.pushWindow(dest)

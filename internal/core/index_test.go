@@ -8,7 +8,6 @@ package core
 
 import (
 	"math"
-	"math/rand/v2"
 	"testing"
 
 	"repro/internal/geo"
@@ -104,7 +103,7 @@ func TestESharingDecisionIdenticalToLinearScan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	refRNG := rand.New(rand.NewPCG(seed, seed^0x27d4eb2f))
+	refRNG := stats.NewRNGStream(seed, stats.StreamESharing)
 	refStations := append([]geo.Point(nil), landmarks...)
 	refF := 800.0
 	refOpensSince := 0
@@ -164,7 +163,7 @@ func TestMeyersonDecisionIdenticalToLinearScan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	refRNG := rand.New(rand.NewPCG(seed, seed^0x5bd1e995))
+	refRNG := stats.NewRNGStream(seed, stats.StreamMeyerson)
 	var refStations []geo.Point
 	refPlace := func(dest geo.Point) Decision {
 		nearest, d := geo.Nearest(dest, refStations)
@@ -201,7 +200,7 @@ func TestOnlineKMeansDecisionIdenticalToLinearScan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	refRNG := rand.New(rand.NewPCG(seed, seed^0xc2b2ae35))
+	refRNG := stats.NewRNGStream(seed, stats.StreamOnlineKMeans)
 	var refStations, refBuffer []geo.Point
 	refFacility := 0.0
 	refPhaseNew := 0

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/geo"
+	"repro/internal/stats"
 )
 
 // Decision records one streaming placement decision.
@@ -51,15 +52,17 @@ func NewMeyerson(openingCost float64, seed uint64) (*Meyerson, error) {
 	}
 	return &Meyerson{
 		OpeningCost: openingCost,
-		rng:         rand.New(rand.NewPCG(seed, seed^0x5bd1e995)),
+		rng:         stats.NewRNGStream(seed, stats.StreamMeyerson),
 		index:       geo.NewDynamicIndex(nil),
 	}, nil
 }
 
 // Place implements OnlinePlacer.
+//
+//esharing:hotpath
 func (m *Meyerson) Place(dest geo.Point) (Decision, error) {
 	if !dest.IsFinite() {
-		return Decision{}, fmt.Errorf("core: non-finite destination %v", dest)
+		return Decision{}, &NonFiniteError{Dest: dest}
 	}
 	nearest, d := m.index.Nearest(dest)
 	prob := 1.0
@@ -108,15 +111,17 @@ func NewOnlineKMeans(targetK int, seed uint64) (*OnlineKMeans, error) {
 	}
 	return &OnlineKMeans{
 		TargetK: targetK,
-		rng:     rand.New(rand.NewPCG(seed, seed^0xc2b2ae35)),
+		rng:     stats.NewRNGStream(seed, stats.StreamOnlineKMeans),
 		index:   geo.NewDynamicIndex(nil),
 	}, nil
 }
 
 // Place implements OnlinePlacer.
+//
+//esharing:hotpath
 func (o *OnlineKMeans) Place(dest geo.Point) (Decision, error) {
 	if !dest.IsFinite() {
-		return Decision{}, fmt.Errorf("core: non-finite destination %v", dest)
+		return Decision{}, &NonFiniteError{Dest: dest}
 	}
 	// Bootstrap: the first k+1 points all become centres and seed f_1
 	// from their pairwise distance scale. The median pairwise distance is

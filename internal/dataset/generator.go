@@ -300,7 +300,7 @@ func Generate(cfg Config) ([]Trip, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xdeadbeef))
+	rng := stats.NewRNGStream(cfg.Seed, stats.StreamDataset)
 	projector := geo.NewProjector(cfg.Origin)
 
 	// Fleet state: bikes start scattered uniformly.

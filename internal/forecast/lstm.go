@@ -3,9 +3,9 @@ package forecast
 import (
 	"fmt"
 	"math"
-	"math/rand/v2"
 
 	"repro/internal/matrix"
+	"repro/internal/stats"
 )
 
 // LSTMConfig configures the LSTM forecaster. The paper stacks 128 cells
@@ -87,7 +87,7 @@ func NewLSTM(cfg LSTMConfig) (*LSTM, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xa5a5a5a5))
+	rng := stats.NewRNGStream(cfg.Seed, stats.StreamLSTMInit)
 	l := &LSTM{cfg: cfg}
 	in := 1
 	for i := 0; i < cfg.Layers; i++ {
@@ -128,7 +128,7 @@ func (l *LSTM) Fit(series []float64) error {
 	if err != nil {
 		return fmt.Errorf("lstm fit: %w", err)
 	}
-	rng := rand.New(rand.NewPCG(l.cfg.Seed^0x1234, l.cfg.Seed))
+	rng := stats.NewRNGStream(l.cfg.Seed, stats.StreamLSTMShuffle)
 	order := make([]int, len(inputs))
 	for i := range order {
 		order[i] = i

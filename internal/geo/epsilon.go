@@ -1,0 +1,33 @@
+package geo
+
+import "math"
+
+// Eps is the default tolerance for AlmostEqual: generous enough to
+// absorb accumulated rounding across a few chained operations on
+// city-scale metre coordinates, far below any physically meaningful
+// distance.
+const Eps = 1e-9
+
+// AlmostEqual reports whether a and b differ by at most eps in absolute
+// terms or relative to the larger magnitude, whichever is looser. Pass
+// eps <= 0 to use Eps. This is the comparison the floateq analyzer
+// points to: float == / != in non-test code is almost always a rounding
+// bug; the few sites that genuinely need exact comparison (sort keys,
+// sentinel guards) carry an //esharing:allow floateq waiver instead.
+func AlmostEqual(a, b, eps float64) bool {
+	if eps <= 0 {
+		eps = Eps
+	}
+	if a == b { //esharing:allow floateq
+		return true // fast path, also handles equal infinities
+	}
+	diff := math.Abs(a - b)
+	if math.IsInf(diff, 0) || math.IsNaN(diff) {
+		// Opposite infinities or a NaN operand: never almost equal
+		// (equal infinities already returned via the fast path, and
+		// eps*Inf = Inf would otherwise satisfy the relative test).
+		return false
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= eps || diff <= eps*scale
+}

@@ -1,0 +1,36 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAlmostEqual(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b float64
+		eps  float64
+		want bool
+	}{
+		{"identical", 1.5, 1.5, 0, true},
+		{"within default eps", 1, 1 + 1e-12, 0, true},
+		{"relative tolerance at scale", 1e12, 1e12 * (1 + 1e-10), 0, true},
+		{"clearly different", 1, 2, 0, false},
+		{"explicit eps accepts", 100, 100.5, 1, true},
+		{"explicit eps rejects", 100, 102, 1e-3, false},
+		{"zero vs tiny", 0, 1e-12, 0, true},
+		{"equal infinities", math.Inf(1), math.Inf(1), 0, true},
+		{"opposite infinities", math.Inf(1), math.Inf(-1), 0, false},
+		{"nan never equal", math.NaN(), math.NaN(), 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := AlmostEqual(tc.a, tc.b, tc.eps); got != tc.want {
+				t.Fatalf("AlmostEqual(%v, %v, %v) = %v, want %v", tc.a, tc.b, tc.eps, got, tc.want)
+			}
+			if got := AlmostEqual(tc.b, tc.a, tc.eps); got != tc.want {
+				t.Fatalf("AlmostEqual is asymmetric for (%v, %v)", tc.a, tc.b)
+			}
+		})
+	}
+}

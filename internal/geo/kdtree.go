@@ -49,11 +49,14 @@ func (t *KDTree) build(order []int32, depth uint8) int32 {
 	axis := depth % 2
 	sort.Slice(order, func(a, b int) bool {
 		pa, pb := t.pts[order[a]], t.pts[order[b]]
+		// Exact comparison is required here: a sort key must induce a
+		// total order over the stored coordinates, and epsilon
+		// tie-breaking would make it intransitive.
 		if axis == 0 {
-			if pa.X != pb.X {
+			if pa.X != pb.X { //esharing:allow floateq
 				return pa.X < pb.X
 			}
-		} else if pa.Y != pb.Y {
+		} else if pa.Y != pb.Y { //esharing:allow floateq
 			return pa.Y < pb.Y
 		}
 		return order[a] < order[b]
@@ -103,7 +106,9 @@ func (t *KDTree) search(node int32, q Point, best *int32, bestD2 *float64) {
 	n := t.nodes[node]
 	p := t.pts[n.idx]
 	d2 := q.Dist2(p)
-	if d2 < *bestD2 || (d2 == *bestD2 && (*best < 0 || n.idx < *best)) {
+	// Exact tie on the squared distance intentionally falls through to
+	// the lowest-index rule so the tree matches geo.Nearest bit-for-bit.
+	if d2 < *bestD2 || (d2 == *bestD2 && (*best < 0 || n.idx < *best)) { //esharing:allow floateq
 		*best = n.idx
 		*bestD2 = d2
 	}

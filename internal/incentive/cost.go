@@ -65,7 +65,9 @@ func SavingRatio(p CostParams, m, n int) (float64, error) {
 	}
 	fm, fn := float64(m), float64(n)
 	den := fn*p.ServicePerStop + (fn*fn-fn)/2*p.DelayUnit
-	if den == 0 {
+	// Division guard: only an exactly-zero denominator (both cost
+	// parameters zero) is undefined; near-zero values divide fine.
+	if den == 0 { //esharing:allow floateq
 		return 0, nil
 	}
 	num := fm*p.ServicePerStop + (fm*fm-fm)/2*p.DelayUnit

@@ -16,6 +16,7 @@ import (
 	"math/rand/v2"
 
 	"repro/internal/geo"
+	"repro/internal/stats"
 )
 
 // Obfuscator adds planar-Laplace noise achieving epsilon-geo-
@@ -34,7 +35,7 @@ func NewObfuscator(epsilon float64, seed uint64) (*Obfuscator, error) {
 	}
 	return &Obfuscator{
 		epsilon: epsilon,
-		rng:     rand.New(rand.NewPCG(seed, seed^0x85ebca6b)),
+		rng:     stats.NewRNGStream(seed, stats.StreamPrivacy),
 	}, nil
 }
 

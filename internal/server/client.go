@@ -7,12 +7,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand/v2"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/geo"
+	"repro/internal/stats"
 )
 
 // RetryPolicy controls Client's retry behaviour. Idempotent GETs are
@@ -31,6 +32,31 @@ type RetryPolicy struct {
 	BaseDelay time.Duration
 	// MaxDelay caps the per-retry backoff.
 	MaxDelay time.Duration
+	// Jitter draws the random half-range component of each backoff.
+	// Nil gets a time-seeded NewSeededJitter from NewClient; tests pass
+	// NewSeededJitter(fixedSeed) to make backoff sequences exact.
+	Jitter Jitter
+}
+
+// Jitter returns a uniform random duration in [0, max]. Implementations
+// must be safe for concurrent use: one client may retry on many
+// goroutines at once.
+type Jitter func(max time.Duration) time.Duration
+
+// NewSeededJitter builds a deterministic Jitter on the repo's seed
+// discipline (stats.StreamClientJitter), serialised by a mutex so
+// concurrent retries can share it.
+func NewSeededJitter(seed uint64) Jitter {
+	var mu sync.Mutex
+	rng := stats.NewRNGStream(seed, stats.StreamClientJitter)
+	return func(max time.Duration) time.Duration {
+		if max <= 0 {
+			return 0
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return time.Duration(rng.Int64N(int64(max) + 1))
+	}
 }
 
 // DefaultRetryPolicy is the policy Clients use unless overridden with
@@ -67,6 +93,11 @@ func NewClient(baseURL string, httpClient *http.Client, opts ...ClientOption) (*
 	c := &Client{base: baseURL, http: httpClient, retry: DefaultRetryPolicy()}
 	for _, opt := range opts {
 		opt(c)
+	}
+	if c.retry.Jitter == nil {
+		// Production default: seed from the wall clock so independent
+		// clients desynchronise. Deterministic callers inject their own.
+		c.retry.Jitter = NewSeededJitter(uint64(time.Now().UnixNano()))
 	}
 	return c, nil
 }
@@ -228,7 +259,7 @@ func (c *Client) backoff(attempt int, err error) time.Duration {
 	// Half-range jitter: uniform in [d/2, d].
 	half := d / 2
 	if half > 0 {
-		d = half + rand.N(half+1)
+		d = half + c.retry.Jitter(half)
 	}
 	return d
 }

@@ -188,3 +188,112 @@ func TestStatusErrorMessage(t *testing.T) {
 		t.Errorf("Error() = %q", bare.Error())
 	}
 }
+
+// TestBackoffSequenceDeterministic pins down the exact backoff schedule
+// a seeded jitter produces: identical (policy, seed) pairs must emit
+// identical delays, every delay must land in the documented [d/2, d]
+// half-range band of the capped exponential, and a different seed must
+// change the schedule.
+func TestBackoffSequenceDeterministic(t *testing.T) {
+	policy := func(seed uint64) RetryPolicy {
+		return RetryPolicy{
+			MaxAttempts: 6,
+			BaseDelay:   100 * time.Millisecond,
+			MaxDelay:    time.Second,
+			Jitter:      NewSeededJitter(seed),
+		}
+	}
+	mk := func(seed uint64) *Client {
+		c, err := NewClient("http://unused", nil, WithRetryPolicy(policy(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	a, b, other := mk(1), mk(1), mk(2)
+	// Uncapped exponential: 100ms, 200ms, 400ms, 800ms, then the 1s cap.
+	envelope := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, time.Second, time.Second,
+	}
+	var seqA, seqB, seqOther []time.Duration
+	for attempt := range envelope {
+		seqA = append(seqA, a.backoff(attempt, nil))
+		seqB = append(seqB, b.backoff(attempt, nil))
+		seqOther = append(seqOther, other.backoff(attempt, nil))
+	}
+	diverged := false
+	for i, d := range envelope {
+		if seqA[i] != seqB[i] {
+			t.Errorf("attempt %d: same seed diverged: %v vs %v", i, seqA[i], seqB[i])
+		}
+		if seqA[i] < d/2 || seqA[i] > d {
+			t.Errorf("attempt %d: backoff %v outside [%v, %v]", i, seqA[i], d/2, d)
+		}
+		if seqA[i] != seqOther[i] {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("seeds 1 and 2 produced identical 6-delay schedules")
+	}
+}
+
+// TestBackoffMatchesInjectedJitter verifies the documented contract
+// between backoff and RetryPolicy.Jitter: each delay is exactly
+// half + Jitter(half) of the capped exponential envelope, so a caller
+// who injects a known jitter can predict the schedule to the nanosecond.
+func TestBackoffMatchesInjectedJitter(t *testing.T) {
+	c, err := NewClient("http://unused", nil, WithRetryPolicy(RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+		Jitter:      NewSeededJitter(7),
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := NewSeededJitter(7) // same stream, drawn in lockstep
+	for attempt := 0; attempt < 4; attempt++ {
+		d := 50 * time.Millisecond << attempt
+		want := d/2 + oracle(d/2)
+		if got := c.backoff(attempt, nil); got != want {
+			t.Fatalf("attempt %d: backoff = %v, want %v", attempt, got, want)
+		}
+	}
+}
+
+// TestBackoffRetryAfterOverride checks a server Retry-After hint
+// replaces the computed envelope (jitter still applies to the hint).
+func TestBackoffRetryAfterOverride(t *testing.T) {
+	c, err := NewClient("http://unused", nil, WithRetryPolicy(RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    10 * time.Second,
+		Jitter:      NewSeededJitter(3),
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hint := &StatusError{Status: http.StatusTooManyRequests, RetryAfter: 4 * time.Second}
+	d := c.backoff(0, fmt.Errorf("wrapped: %w", hint))
+	if d < 2*time.Second || d > 4*time.Second {
+		t.Fatalf("backoff with 4s Retry-After = %v, want within [2s, 4s]", d)
+	}
+}
+
+// TestNewClientDefaultsJitter ensures a policy without an explicit
+// Jitter still gets one, so backoff never dereferences nil.
+func TestNewClientDefaultsJitter(t *testing.T) {
+	c, err := NewClient("http://unused", nil, WithRetryPolicy(fastRetry(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.retry.Jitter == nil {
+		t.Fatal("NewClient left RetryPolicy.Jitter nil")
+	}
+	if d := c.backoff(0, nil); d <= 0 {
+		t.Fatalf("backoff with defaulted jitter = %v, want > 0", d)
+	}
+}

@@ -54,7 +54,9 @@ func NewWithFleet(placer core.OnlinePlacer, fleet *energy.Fleet, opts ...Option)
 	if err != nil {
 		return nil, err
 	}
-	s.fleet = fleet
+	// Construction-time write: no handler can observe s until
+	// NewWithFleet returns, so the lock is not needed yet.
+	s.fleet = fleet //esharing:allow guardedby
 	s.mux.HandleFunc("GET /v1/bikes", s.instrument(epBikes, s.handleBikes))
 	s.mux.HandleFunc("POST /v1/bikes", s.instrument(epAddBike, s.handleAddBike))
 	s.mux.HandleFunc("POST /v1/rides", s.instrument(epRide, s.handleRide))

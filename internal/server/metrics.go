@@ -136,6 +136,10 @@ type latencyHistogram struct {
 	sumNanos atomic.Int64
 }
 
+// observe records one request latency; it runs on every served
+// request, so it must stay allocation-free.
+//
+//esharing:hotpath
 func (h *latencyHistogram) observe(d time.Duration) {
 	if d < 0 {
 		d = 0
@@ -178,7 +182,10 @@ const maxBodyBytes = 1 << 20
 
 // instrument wraps a route handler with the shared serving-path
 // armour: body-size cap, in-flight gauge, latency histogram, and
-// status-derived error counting.
+// status-derived error counting. The returned closure inherits the
+// hot-path constraint — it brackets every request.
+//
+//esharing:hotpath
 func (s *Server) instrument(ep int, h http.HandlerFunc) http.HandlerFunc {
 	m := &s.endpoints[ep]
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -255,6 +262,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // writeErrorCounters renders the esharing_request_errors_total family.
 // Only nonzero series are emitted to keep scrapes small; the family
 // header is always present so dashboards can reference it.
+//
+//esharing:hotpath
 func (s *Server) writeErrorCounters(sb *strings.Builder) {
 	sb.WriteString("# HELP esharing_request_errors_total Error responses by endpoint and kind.\n")
 	sb.WriteString("# TYPE esharing_request_errors_total counter\n")
@@ -275,6 +284,8 @@ func (s *Server) writeErrorCounters(sb *strings.Builder) {
 
 // writeLatencyHistograms renders esharing_request_duration_seconds, one
 // cumulative bucket series per instrumented endpoint.
+//
+//esharing:hotpath
 func (s *Server) writeLatencyHistograms(sb *strings.Builder) {
 	sb.WriteString("# HELP esharing_request_duration_seconds Request latency by endpoint.\n")
 	sb.WriteString("# TYPE esharing_request_duration_seconds histogram\n")
@@ -303,7 +314,9 @@ func (s *Server) writeLatencyHistograms(sb *strings.Builder) {
 // endpointActive reports whether ep's route is registered on this
 // server (fleet endpoints only exist when a fleet is attached).
 func (s *Server) endpointActive(ep int) bool {
-	return ep < epBikes || s.fleet != nil
+	// Lock-free nil check: the fleet pointer is written once during
+	// construction and never reassigned, only its contents mutate.
+	return ep < epBikes || s.fleet != nil //esharing:allow guardedby
 }
 
 // formatBound renders a bucket bound the way Prometheus clients do

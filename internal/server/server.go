@@ -87,6 +87,9 @@ type readSnapshot struct {
 // Server wraps an online placer behind an HTTP API; NewWithFleet adds
 // tier-2 fleet endpoints.
 type Server struct {
+	// placer is the serialised decision engine; every call on it must
+	// happen under the decision channel-lock.
+	// guarded by decision
 	placer core.OnlinePlacer
 	name   string // placer.Name(), cached so reads never touch the placer
 
@@ -98,9 +101,13 @@ type Server struct {
 	decision    chan struct{}
 	queue       chan struct{}
 	maxInFlight int
+	shedMsg     string // 429 body, pre-rendered off the hot path
 
-	fleetMu sync.Mutex    // guards fleet independently of the decision lock
-	fleet   *energy.Fleet // nil unless built with NewWithFleet
+	fleetMu sync.Mutex // guards fleet independently of the decision lock
+	// fleet is nil unless built with NewWithFleet; the pointer is set
+	// once before serving, its state mutates only under the lock.
+	// guarded by fleetMu
+	fleet *energy.Fleet
 
 	// Counters are written only under the decision lock (single
 	// writer) and read lock-free by the stats/metrics handlers.
@@ -153,6 +160,7 @@ func New(placer core.OnlinePlacer, opts ...Option) (*Server, error) {
 		opt(s)
 	}
 	s.queue = make(chan struct{}, s.maxInFlight)
+	s.shedMsg = fmt.Sprintf("placement queue full (%d in flight)", s.maxInFlight)
 	s.publishSnapshot()
 	s.mux.HandleFunc("POST /v1/requests", s.instrument(epPlace, s.handlePlace))
 	s.mux.HandleFunc("GET /v1/stations", s.instrument(epStations, s.handleStations))
@@ -167,10 +175,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// publishSnapshot republishes the read-side state. Called under the
-// decision lock (or before the server is serving) whenever the station
-// set or the similarity figure may have changed; it copies the station
-// slice, so callers should skip it when nothing changed.
+// publishSnapshot republishes the read-side state;
+// caller holds decision (or the server is not yet serving).
+// Called whenever the
+// station set or the similarity figure may have changed; it copies the
+// station slice, so callers should skip it when nothing changed.
 func (s *Server) publishSnapshot() {
 	snap := &readSnapshot{stations: s.placer.Stations()}
 	if es, ok := s.placer.(*core.ESharing); ok {
@@ -180,9 +189,10 @@ func (s *Server) publishSnapshot() {
 	s.snap.Store(snap)
 }
 
-// refreshAfterPlace updates the published snapshot after a decision.
-// The station copy is only taken when the set actually changed (a
-// station opened); a similarity change alone reuses the current slice.
+// refreshAfterPlace updates the published snapshot after a decision;
+// caller holds decision. The station copy is only taken when the set
+// actually changed (a station opened); a similarity change alone reuses
+// the current slice.
 func (s *Server) refreshAfterPlace(opened bool) {
 	if opened {
 		s.publishSnapshot()
@@ -206,6 +216,10 @@ func (s *Server) refreshAfterPlace(opened bool) {
 	}
 }
 
+// handlePlace serves POST /v1/requests: admission gate, decision lock,
+// placement, snapshot refresh.
+//
+//esharing:hotpath
 func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	var req PlaceRequest
 	if !decodeBody(w, r, &req) {
@@ -224,8 +238,7 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.shed.Add(1)
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests,
-			errorBody{Error: fmt.Sprintf("placement queue full (%d in flight)", s.maxInFlight)})
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: s.shedMsg})
 		return
 	}
 	defer func() { <-s.queue }()
@@ -263,6 +276,10 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleStations serves GET /v1/stations from the published snapshot,
+// memoising the marshalled body between publications.
+//
+//esharing:hotpath
 func (s *Server) handleStations(w http.ResponseWriter, _ *http.Request) {
 	snap := s.snap.Load()
 	if b := snap.stationsJSON.Load(); b != nil {
@@ -271,7 +288,7 @@ func (s *Server) handleStations(w http.ResponseWriter, _ *http.Request) {
 	}
 	buf, err := json.Marshal(StationsResponse{Stations: snap.stations})
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorBody{Error: fmt.Sprintf("encode stations: %v", err)})
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "encode stations: " + err.Error()})
 		return
 	}
 	buf = append(buf, '\n')
@@ -281,6 +298,9 @@ func (s *Server) handleStations(w http.ResponseWriter, _ *http.Request) {
 	writeJSONBytes(w, buf)
 }
 
+// handleStats serves GET /v1/stats from atomics and the snapshot.
+//
+//esharing:hotpath
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	snap := s.snap.Load()
 	resp := StatsResponse{

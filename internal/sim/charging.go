@@ -134,7 +134,7 @@ func RunChargingRound(stations []geo.Point, fleet *energy.Fleet, cfg ChargingCon
 	if fleet == nil {
 		return nil, fmt.Errorf("sim: nil fleet")
 	}
-	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b9))
+	rng := stats.NewRNGStream(cfg.Seed, stats.StreamCharging)
 
 	low := fleet.GroupByStation(stations, math.Inf(1), true)
 	report := &ChargingReport{

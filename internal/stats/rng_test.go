@@ -1,0 +1,39 @@
+package stats
+
+import "testing"
+
+func TestNewRNGStreamZeroMatchesNewRNG(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNGStream(42, StreamDefault)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("draw %d: NewRNG=%d NewRNGStream(.., StreamDefault)=%d", i, x, y)
+		}
+	}
+}
+
+func TestNewRNGStreamsAreIndependent(t *testing.T) {
+	streams := []uint64{
+		StreamDefault, StreamMeyerson, StreamOnlineKMeans, StreamESharing,
+		StreamCharging, StreamPrivacy, StreamDataset, StreamLSTMInit,
+		StreamLSTMShuffle, StreamClientJitter,
+	}
+	seen := make(map[uint64]uint64, len(streams))
+	for _, s := range streams {
+		first := NewRNGStream(42, s).Uint64()
+		if prev, dup := seen[first]; dup {
+			t.Fatalf("streams %d and %d share first draw %d", prev, s, first)
+		}
+		seen[first] = s
+	}
+}
+
+func TestNewRNGStreamDeterministic(t *testing.T) {
+	a := NewRNGStream(7, StreamCharging)
+	b := NewRNGStream(7, StreamCharging)
+	for i := 0; i < 100; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("draw %d: same (seed, stream) diverged: %d vs %d", i, x, y)
+		}
+	}
+}
