@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/forecast"
+	"repro/internal/geo"
+	"repro/internal/stats"
+)
+
+// benchRecord is one hot section's measured cost. CI uploads the full
+// array (BENCH_compute.json) on every run so the repository keeps a
+// perf trajectory across PRs.
+type benchRecord struct {
+	Section string `json:"section"`
+	Ns      int64  `json:"ns"`
+	Allocs  int64  `json:"allocs"`
+}
+
+// runBenchJSON measures the compute hot sections — the offline solver,
+// the 2-D KS statistic and the forecasting grid — at the current
+// parallelism and writes {section, ns, allocs} records as JSON.
+func runBenchJSON(out io.Writer) error {
+	var records []benchRecord
+	add := func(section string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		records = append(records, benchRecord{Section: section, Ns: r.NsPerOp(), Allocs: r.AllocsPerOp()})
+	}
+
+	for _, n := range []int{200, 500} {
+		p := benchProblem(uint64(n), n)
+		add(fmt.Sprintf("solver/offline/N=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SolveOffline(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	for _, n := range []int{100, 500} {
+		rng := stats.NewRNG(uint64(n))
+		box := geo.Square(geo.Pt(0, 0), 1000)
+		pa := stats.SamplePoints(rng, stats.UniformDist{Box: box}, n)
+		pb := stats.SamplePoints(rng, stats.UniformDist{Box: geo.Square(geo.Pt(250, 250), 1000)}, n)
+		add(fmt.Sprintf("ks/peacock2dfast/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := stats.Peacock2DFast(pa, pb); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	train, test := benchSeries()
+	specs := benchGridSpecs()
+	add("grid/forecast", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := forecast.GridSearch(0, specs, train, test, 6); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
+}
+
+// benchProblem mirrors the solver benchmark instances: clustered plus
+// scattered demand with heterogeneous opening costs.
+func benchProblem(seed uint64, n int) *core.Problem {
+	rng := stats.NewRNG(seed)
+	demands := make([]core.Demand, n)
+	for i := range demands {
+		var pt geo.Point
+		if rng.IntN(3) == 0 {
+			cx := float64(rng.IntN(4)) * 800
+			cy := float64(rng.IntN(4)) * 800
+			pt = geo.Pt(cx+rng.Float64()*50, cy+rng.Float64()*50)
+		} else {
+			pt = geo.Pt(rng.Float64()*3000, rng.Float64()*3000)
+		}
+		demands[i] = core.Demand{Loc: pt, Arrivals: 1 + float64(rng.IntN(5))}
+	}
+	opening := make([]float64, n)
+	for i := range opening {
+		opening[i] = 1000 + rng.Float64()*4000
+	}
+	p, err := core.NewProblem(demands, opening)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// benchSeries is a small deterministic hourly series with daily
+// seasonality for the grid section.
+func benchSeries() (train, test []float64) {
+	rng := stats.NewRNG(6)
+	series := make([]float64, 14*24)
+	for i := range series {
+		hour := i % 24
+		base := 40.0
+		if hour >= 7 && hour <= 20 {
+			base = 90
+		}
+		series[i] = base + 10*rng.Float64()
+	}
+	train, test, err := forecast.SplitTrainTest(series, 0.75)
+	if err != nil {
+		panic(err)
+	}
+	return train, test
+}
+
+// benchGridSpecs is an MA+ARIMA sweep — the statistical half of the
+// Table II grid, heavy enough to exercise the parallel fan-out without
+// LSTM training times.
+func benchGridSpecs() []forecast.GridSpec {
+	var specs []forecast.GridSpec
+	for _, wz := range []int{1, 2, 3, 4, 5} {
+		wz := wz
+		specs = append(specs, forecast.GridSpec{
+			Name: fmt.Sprintf("ma wz=%d", wz),
+			New:  func() (forecast.Forecaster, error) { return forecast.NewMovingAverage(wz) },
+		})
+	}
+	for _, d := range []int{0, 1, 2} {
+		for _, p := range []int{2, 4, 6, 8, 10} {
+			d, p := d, p
+			specs = append(specs, forecast.GridSpec{
+				Name: fmt.Sprintf("arima p=%d d=%d", p, d),
+				New:  func() (forecast.Forecaster, error) { return forecast.NewARIMA(p, d, 0) },
+			})
+		}
+	}
+	return specs
+}

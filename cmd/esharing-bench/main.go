@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	esharing-bench [-quick] [-json] <experiment ...>
+//	esharing-bench [-quick] [-json] [-parallelism N] <experiment ...>
 //
 // Experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
 // table2 table3 table4 table5 table6 ablations all
@@ -10,6 +10,14 @@
 // fig9 is an alias of table3 (same study), fig10 of table5, and
 // fig11/fig12 of table6 — the paper derives those figures from the same
 // runs.
+//
+// The benchjson pseudo-experiment emits a machine-readable {section, ns,
+// allocs} baseline for the solver, KS and forecasting-grid hot sections
+// (committed as BENCH_compute.json and uploaded by CI).
+//
+// -parallelism N bounds the deterministic compute fan-out (default: the
+// ESHARING_PARALLELISM environment variable, else GOMAXPROCS). Output is
+// bit-identical for every value; 1 runs fully sequentially.
 package main
 
 import (
@@ -19,6 +27,8 @@ import (
 	"io"
 	"os"
 	"time"
+
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -32,14 +42,23 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("esharing-bench", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "shrink grids and trial counts for a fast pass")
 	asJSON := fs.Bool("json", false, "emit structured JSON instead of rendered tables")
+	parallelism := fs.Int("parallelism", 0,
+		"worker count for the deterministic compute engine; 0 keeps the "+parallel.EnvVar+"/GOMAXPROCS default, 1 is fully sequential")
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *parallelism > 0 {
+		parallel.SetDefault(*parallelism)
 	}
 	names := fs.Args()
 	if len(names) == 0 {
 		fs.Usage()
 		return fmt.Errorf("no experiment named; try: esharing-bench all")
+	}
+	if len(names) == 1 && names[0] == "benchjson" {
+		// Machine-readable output only: no wall-time wrapper lines.
+		return runBenchJSON(out)
 	}
 	if len(names) == 1 && names[0] == "all" {
 		names = []string{
@@ -47,6 +66,8 @@ func run(args []string, out io.Writer) error {
 			"table2", "table3", "table4", "table5", "table6", "ablations",
 		}
 	}
+	fmt.Fprintf(out, "[parallelism %d]\n\n", parallel.Default())
+	total := time.Now()
 	for _, name := range names {
 		start := time.Now()
 		if err := runOne(name, *quick, *asJSON, out); err != nil {
@@ -54,6 +75,7 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	fmt.Fprintf(out, "[%d section(s) completed in %v]\n", len(names), time.Since(total).Round(time.Millisecond))
 	return nil
 }
 

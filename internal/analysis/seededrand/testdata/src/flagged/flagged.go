@@ -30,3 +30,34 @@ func drawInjected(rng *rand.Rand) float64 {
 func shuffleWaived(xs []int) {
 	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) //esharing:allow seededrand
 }
+
+// parallelMap stands in for the fork–join engine's Map (the testdata
+// module cannot import repro/internal/parallel): what matters is the
+// worker-callback shape below.
+func parallelMap(n int, f func(worker, i int) float64) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = f(0, i)
+	}
+	return out
+}
+
+// drawPerTask is the parallel anti-pattern: hand-rolling a generator
+// inside a worker callback instead of stats.NewWorkerRNG(seed, stream,
+// task). Even though the stream is keyed on the task index here, the
+// raw constructor bypasses the substream spreading and must be flagged.
+func drawPerTask(seed uint64, n int) []float64 {
+	return parallelMap(n, func(w, i int) float64 {
+		rng := rand.New(rand.NewPCG(seed, uint64(i))) // want `rand\.New bypasses the seed discipline` `rand\.NewPCG bypasses the seed discipline`
+		return rng.Float64()
+	})
+}
+
+// drawPerWorkerGlobal is the worse variant: the process-global generator
+// consumed from concurrent callbacks is both unreproducible and
+// schedule-dependent.
+func drawPerWorkerGlobal(n int) []float64 {
+	return parallelMap(n, func(w, i int) float64 {
+		return rand.Float64() // want `rand\.Float64 bypasses the seed discipline`
+	})
+}

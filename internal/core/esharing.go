@@ -202,10 +202,20 @@ func (e *ESharing) openAt(dest geo.Point) int {
 }
 
 func (e *ESharing) pushWindow(dest geo.Point) {
-	e.window = append(e.window, dest)
-	if len(e.window) > e.cfg.WindowSize {
-		e.window = e.window[len(e.window)-e.cfg.WindowSize:]
+	w := e.cfg.WindowSize
+	if w <= 0 {
+		e.window = e.window[:0]
+		return
 	}
+	// Shift in place rather than reslice: `window = window[len-w:]` keeps
+	// the slice pointing into an ever-growing backing array, pinning every
+	// point ever pushed. Copying down reuses one O(WindowSize) array for
+	// the life of the engine.
+	if len(e.window) >= w {
+		copy(e.window, e.window[len(e.window)-(w-1):])
+		e.window = e.window[:w-1]
+	}
+	e.window = append(e.window, dest)
 }
 
 // runTest performs the Peacock 2-D KS test (Eq. 9) between the historical

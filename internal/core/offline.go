@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"sort"
+
+	"repro/internal/parallel"
 )
 
 // SolveOffline runs the paper's Algorithm 1: the Jain–Mahdian–Markakis–
@@ -18,13 +20,108 @@ import (
 // switching to i. Opened facilities have their opening cost zeroed so
 // later iterations may continue to attract switchers for free. The loop
 // ends when every client is connected; complexity O(N³).
+//
+// The per-iteration candidate sweep — the O(N²) inner double loop — fans
+// out across parallel.Default() workers; see SolveOfflineWorkers for the
+// determinism contract.
 func SolveOffline(p *Problem) (*Solution, error) {
+	return SolveOfflineWorkers(p, parallel.Default())
+}
+
+// unassigned marks a demand not yet connected to any candidate.
+const unassigned = -1
+
+// candEval is one candidate's best Eq. 5 outcome within an iteration:
+// the minimum prefix ratio and the prefix length attaining it first.
+type candEval struct {
+	ratio  float64
+	prefix int
+}
+
+// offlineScratch is one worker's reusable buffer for the candidate
+// sweep: the unconnected clients reordered by connection cost, with the
+// costs cached so the sort comparator and the prefix accumulation never
+// recompute a distance. It implements sort.Interface over the pair.
+type offlineScratch struct {
+	idx  []int
+	cost []float64
+}
+
+func (s *offlineScratch) Len() int           { return len(s.idx) }
+func (s *offlineScratch) Less(a, b int) bool { return s.cost[a] < s.cost[b] }
+func (s *offlineScratch) Swap(a, b int) {
+	s.idx[a], s.idx[b] = s.idx[b], s.idx[a]
+	s.cost[a], s.cost[b] = s.cost[b], s.cost[a]
+}
+
+// sortUnconnByCost loads the unconnected clients into s and sorts them
+// by connection cost to candidate i. The load order (ascending client
+// index) and the comparison outcomes match the original per-candidate
+// sort exactly, so the resulting permutation — including the order of
+// cost ties, which decides which clients a tie-straddling prefix
+// connects — is bit-compatible with the sequential seed.
+func sortUnconnByCost(p *Problem, i int, unconn []int, s *offlineScratch) {
+	s.idx = s.idx[:0]
+	s.cost = s.cost[:0]
+	for _, j := range unconn {
+		s.idx = append(s.idx, j)
+		s.cost = append(s.cost, p.Walk(i, j))
+	}
+	sort.Sort(s)
+}
+
+// evalCandidate scores candidate i for the current iteration: switch
+// savings over connected clients (ascending j, fixed summation order),
+// then the minimum prefix ratio over unconnected clients sorted by
+// cost. Reads shared state only; all writes happen between sweeps.
+func evalCandidate(p *Problem, i int, assign []int, curCost []float64, openCost float64, unconn []int, s *offlineScratch) candEval {
+	n := len(p.Demands)
+	var savings float64
+	for j := 0; j < n; j++ {
+		if assign[j] == unassigned {
+			continue
+		}
+		if c := p.Walk(i, j); c < curCost[j] {
+			savings += curCost[j] - c
+		}
+	}
+	sortUnconnByCost(p, i, unconn, s)
+	base := openCost - savings
+	best := candEval{ratio: math.Inf(1)}
+	var acc float64
+	for k, c := range s.cost {
+		acc += c
+		ratio := (base + acc) / float64(k+1)
+		if ratio < best.ratio {
+			best = candEval{ratio: ratio, prefix: k + 1}
+		}
+	}
+	return best
+}
+
+// SolveOfflineWorkers is SolveOffline with an explicit worker count.
+//
+// Determinism contract: the solution is bit-identical for every workers
+// value, and workers == 1 reproduces the sequential algorithm exactly —
+// same stations in the same order, same assignment, bit-identical
+// costs. This holds because each candidate's evaluation is self-
+// contained (per-worker scratch, fixed summation and sort order) and
+// the winner is reduced over the evals slice in ascending candidate
+// index with a strict comparison — exactly the sequential scan's
+// first-minimum tie-break. Differential tests pin this at parallelism
+// 1, 2, 4 and 7 against a copy of the seed implementation.
+func SolveOfflineWorkers(p *Problem, workers int) (*Solution, error) {
 	n := len(p.Demands)
 	if n == 0 {
 		return nil, ErrEmptyProblem
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
 
-	const unassigned = -1
 	assign := make([]int, n)
 	curCost := make([]float64, n)
 	for j := range assign {
@@ -36,61 +133,58 @@ func SolveOffline(p *Problem) (*Solution, error) {
 	var openOrder []int
 	remaining := n
 
-	type bestChoice struct {
-		cand   int
-		prefix int // number of unconnected clients to connect
-		ratio  float64
-		sorted []int // unconnected clients sorted by walk cost
+	unconn := make([]int, 0, n)
+	evals := make([]candEval, n)
+	scratch := make([]offlineScratch, workers)
+	for w := range scratch {
+		scratch[w].idx = make([]int, 0, n)
+		scratch[w].cost = make([]float64, 0, n)
 	}
 
 	for remaining > 0 {
-		best := bestChoice{cand: -1, ratio: math.Inf(1)}
-		for i := 0; i < n; i++ {
-			// Savings from already-connected clients that prefer i.
-			var savings float64
-			for j := 0; j < n; j++ {
-				if assign[j] == unassigned {
-					continue
-				}
-				if c := p.Walk(i, j); c < curCost[j] {
-					savings += curCost[j] - c
-				}
-			}
-			// Unconnected clients sorted by connection cost to i.
-			unconn := make([]int, 0, remaining)
-			for j := 0; j < n; j++ {
-				if assign[j] == unassigned {
-					unconn = append(unconn, j)
-				}
-			}
-			sort.Slice(unconn, func(a, b int) bool {
-				return p.Walk(i, unconn[a]) < p.Walk(i, unconn[b])
-			})
-			base := openCost[i] - savings
-			var acc float64
-			for k, j := range unconn {
-				acc += p.Walk(i, j)
-				ratio := (base + acc) / float64(k+1)
-				if ratio < best.ratio {
-					best = bestChoice{cand: i, prefix: k + 1, ratio: ratio, sorted: unconn}
-				}
+		// The unconnected set is shared by every candidate this
+		// iteration; build it once, ascending.
+		unconn = unconn[:0]
+		for j := 0; j < n; j++ {
+			if assign[j] == unassigned {
+				unconn = append(unconn, j)
 			}
 		}
-		if best.cand == -1 {
+		// Phase 1: score every candidate, fanned out over contiguous
+		// chunks with per-worker scratch.
+		parallel.ForChunks(workers, n, func(w, lo, hi int) {
+			s := &scratch[w]
+			for i := lo; i < hi; i++ {
+				evals[i] = evalCandidate(p, i, assign, curCost, openCost[i], unconn, s)
+			}
+		})
+		// Reduce in candidate order with strict <: the first (i, prefix)
+		// attaining the global minimum, as in the sequential scan.
+		best, bestRatio := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if evals[i].ratio < bestRatio {
+				best, bestRatio = i, evals[i].ratio
+			}
+		}
+		if best == -1 {
 			// Unreachable for valid instances: every candidate can always
 			// connect at least one client.
 			return nil, ErrEmptyProblem
 		}
-		i := best.cand
+		i := best
 		if !opened[i] {
 			opened[i] = true
 			openOrder = append(openOrder, i)
 		}
 		openCost[i] = 0
-		// Connect the chosen unconnected prefix.
-		for _, j := range best.sorted[:best.prefix] {
+		// Phase 2: re-derive the winner's sorted order (deterministic,
+		// O(n log n)) and connect the chosen prefix.
+		s := &scratch[0]
+		sortUnconnByCost(p, i, unconn, s)
+		for k := 0; k < evals[i].prefix; k++ {
+			j := s.idx[k]
 			assign[j] = i
-			curCost[j] = p.Walk(i, j)
+			curCost[j] = s.cost[k]
 			remaining--
 		}
 		// Switch connected clients that save.

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestPushWindowKeepsLastWPoints(t *testing.T) {
+	const w = 16
+	e := &ESharing{cfg: ESharingConfig{WindowSize: w}}
+	var pushed []geo.Point
+	for i := 0; i < 100; i++ {
+		pt := geo.Pt(float64(i), float64(-i))
+		pushed = append(pushed, pt)
+		e.pushWindow(pt)
+		wantLen := i + 1
+		if wantLen > w {
+			wantLen = w
+		}
+		if len(e.window) != wantLen {
+			t.Fatalf("after %d pushes: window len %d, want %d", i+1, len(e.window), wantLen)
+		}
+		for k, got := range e.window {
+			want := pushed[len(pushed)-len(e.window)+k]
+			if got != want {
+				t.Fatalf("after %d pushes: window[%d]=%v, want %v", i+1, k, got, want)
+			}
+		}
+	}
+}
+
+func TestPushWindowMemoryBounded(t *testing.T) {
+	// The old implementation resliced the tail of an append-grown array
+	// (`window = window[len-W:]`), so the backing array — and every point
+	// ever pushed — was retained forever. The fix copies in place: after
+	// warm-up the capacity must never grow again, no matter how many
+	// points stream through.
+	const w = 32
+	e := &ESharing{cfg: ESharingConfig{WindowSize: w}}
+	for i := 0; i < 2*w; i++ {
+		e.pushWindow(geo.Pt(float64(i), 0))
+	}
+	warm := cap(e.window)
+	if warm > 2*w {
+		t.Fatalf("warm-up capacity %d exceeds 2x window size %d", warm, 2*w)
+	}
+	for i := 0; i < 100000; i++ {
+		e.pushWindow(geo.Pt(float64(i), 1))
+	}
+	if got := cap(e.window); got != warm {
+		t.Errorf("capacity grew from %d to %d after steady-state pushes; window memory is not O(WindowSize)", warm, got)
+	}
+	if len(e.window) != w {
+		t.Errorf("window len %d, want %d", len(e.window), w)
+	}
+}

@@ -26,6 +26,9 @@ type Table2Config struct {
 	Ds      []int
 	// Horizon is the multi-step forecast depth ("next 1 to 6 hours").
 	Horizon int
+	// Workers bounds the parallel fan-out of the model grid; 0 means
+	// parallel.Default(). Results are bit-identical at any value.
+	Workers int
 }
 
 // DefaultTable2Config mirrors the paper's Table II grid at a size that
@@ -100,75 +103,89 @@ func RunTable2(cfg Table2Config) (*Table2Result, error) {
 		MA:    map[int]float64{},
 		ARIMA: map[int]map[int]float64{},
 	}
-	res.BestLSTM.RMSE = 1e18
-	res.BestMA.RMSE = 1e18
-	res.BestARIMA.RMSE = 1e18
 
+	// Each grid is a parallel map over independent candidates: every
+	// LSTM cell owns its fixed seed (derived from layers and back, never
+	// from evaluation order), so fanning the sweep out changes no RNG
+	// draws. forecast.GridSearch returns the first strict minimum —
+	// identical to the sequential scan's winner.
+	var lstmSpecs []forecast.GridSpec
 	for _, layers := range cfg.Layers {
 		res.LSTM[layers] = map[int]float64{}
 		for _, back := range cfg.Backs {
-			model, err := forecast.NewLSTM(forecast.LSTMConfig{
-				Hidden: cfg.Hidden, Layers: layers, Lookback: back,
-				Epochs: cfg.Epochs, LearningRate: 0.01, ClipNorm: 1,
-				Seed: cfg.Seed + uint64(layers*100+back),
+			layers, back := layers, back
+			lstmSpecs = append(lstmSpecs, forecast.GridSpec{
+				Name: fmt.Sprintf("lstm %d-layer back=%d", layers, back),
+				New: func() (forecast.Forecaster, error) {
+					return forecast.NewLSTM(forecast.LSTMConfig{
+						Hidden: cfg.Hidden, Layers: layers, Lookback: back,
+						Epochs: cfg.Epochs, LearningRate: 0.01, ClipNorm: 1,
+						Seed: cfg.Seed + uint64(layers*100+back),
+					})
+				},
 			})
-			if err != nil {
-				return nil, err
-			}
-			rmse, err := fitAndScore(model, train, test, cfg.Horizon)
-			if err != nil {
-				return nil, fmt.Errorf("lstm %dx back=%d: %w", layers, back, err)
-			}
-			res.LSTM[layers][back] = rmse
-			if rmse < res.BestLSTM.RMSE {
-				res.BestLSTM = Table2Cell{Model: fmt.Sprintf("lstm %d-layer back=%d", layers, back), RMSE: rmse}
-			}
 		}
 	}
+	lstmRMSE, lstmBest, err := forecast.GridSearch(cfg.Workers, lstmSpecs, train, test, cfg.Horizon)
+	if err != nil {
+		return nil, err
+	}
+	for idx, layers := range cfg.Layers {
+		for jdx, back := range cfg.Backs {
+			res.LSTM[layers][back] = lstmRMSE[idx*len(cfg.Backs)+jdx]
+		}
+	}
+	res.BestLSTM = Table2Cell{Model: lstmSpecs[lstmBest].Name, RMSE: lstmRMSE[lstmBest]}
+
+	var maSpecs []forecast.GridSpec
 	for _, wz := range cfg.Windows {
-		model, err := forecast.NewMovingAverage(wz)
-		if err != nil {
-			return nil, err
-		}
-		rmse, err := fitAndScore(model, train, test, cfg.Horizon)
-		if err != nil {
-			return nil, fmt.Errorf("ma wz=%d: %w", wz, err)
-		}
-		res.MA[wz] = rmse
-		if rmse < res.BestMA.RMSE {
-			res.BestMA = Table2Cell{Model: fmt.Sprintf("ma wz=%d", wz), RMSE: rmse}
-		}
+		wz := wz
+		maSpecs = append(maSpecs, forecast.GridSpec{
+			Name: fmt.Sprintf("ma wz=%d", wz),
+			New: func() (forecast.Forecaster, error) {
+				return forecast.NewMovingAverage(wz)
+			},
+		})
 	}
+	maRMSE, maBest, err := forecast.GridSearch(cfg.Workers, maSpecs, train, test, cfg.Horizon)
+	if err != nil {
+		return nil, err
+	}
+	for idx, wz := range cfg.Windows {
+		res.MA[wz] = maRMSE[idx]
+	}
+	res.BestMA = Table2Cell{Model: maSpecs[maBest].Name, RMSE: maRMSE[maBest]}
+
+	var arimaSpecs []forecast.GridSpec
 	for _, d := range cfg.Ds {
 		res.ARIMA[d] = map[int]float64{}
 		for _, p := range cfg.Ps {
-			model, err := forecast.NewARIMA(p, d, 0)
-			if err != nil {
-				return nil, err
-			}
-			rmse, err := fitAndScore(model, train, test, cfg.Horizon)
-			if err != nil {
-				return nil, fmt.Errorf("arima p=%d d=%d: %w", p, d, err)
-			}
-			res.ARIMA[d][p] = rmse
-			if rmse < res.BestARIMA.RMSE {
-				res.BestARIMA = Table2Cell{Model: fmt.Sprintf("arima p=%d d=%d", p, d), RMSE: rmse}
-			}
+			d, p := d, p
+			arimaSpecs = append(arimaSpecs, forecast.GridSpec{
+				Name: fmt.Sprintf("arima p=%d d=%d", p, d),
+				New: func() (forecast.Forecaster, error) {
+					return forecast.NewARIMA(p, d, 0)
+				},
+			})
 		}
 	}
+	arimaRMSE, arimaBest, err := forecast.GridSearch(cfg.Workers, arimaSpecs, train, test, cfg.Horizon)
+	if err != nil {
+		return nil, err
+	}
+	for idx, d := range cfg.Ds {
+		for jdx, p := range cfg.Ps {
+			res.ARIMA[d][p] = arimaRMSE[idx*len(cfg.Ps)+jdx]
+		}
+	}
+	res.BestARIMA = Table2Cell{Model: arimaSpecs[arimaBest].Name, RMSE: arimaRMSE[arimaBest]}
+
 	bestStat := res.BestMA.RMSE
 	if res.BestARIMA.RMSE < bestStat {
 		bestStat = res.BestARIMA.RMSE
 	}
 	res.ImprovementPct = 100 * (bestStat - res.BestLSTM.RMSE) / bestStat
 	return res, nil
-}
-
-func fitAndScore(m forecast.Forecaster, train, test []float64, horizon int) (float64, error) {
-	if err := m.Fit(train); err != nil {
-		return 0, err
-	}
-	return forecast.WalkForwardRMSE(m, train, test, horizon)
 }
 
 // Render writes the Table II grids.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geo"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -23,6 +24,9 @@ type Table3Config struct {
 	// OpeningCost is the per-station space cost in metres.
 	OpeningCost float64
 	Seed        uint64
+	// Workers bounds the parallel fan-out of the trial sweep; 0 means
+	// parallel.Default(). Results are bit-identical at any value.
+	Workers int
 }
 
 // DefaultTable3Config mirrors the paper's setting.
@@ -116,51 +120,80 @@ func RunTable3(cfg Table3Config) (*Table3Result, error) {
 	return res, nil
 }
 
-func runPenaltyTrials(cfg Table3Config, dist stats.PointDist, pt core.PenaltyType) (Table3Cell, error) {
-	var cell Table3Cell
-	for trial := 0; trial < cfg.Trials; trial++ {
-		seed := cfg.Seed + uint64(trial)*1009 + uint64(pt)*7
-		var placer core.OnlinePlacer
-		if pt == core.NoPenalty {
-			// The no-penalty column is the pure online baseline: fixed-f
-			// Meyerson without the offline landmark or the doubling
-			// schedule — it "has higher probabilities to establish new
-			// parking", minimising walking at maximal space cost.
-			mey, err := core.NewMeyerson(cfg.OpeningCost, seed)
-			if err != nil {
-				return Table3Cell{}, err
-			}
-			placer = mey
-		} else {
-			esCfg := core.ESharingConfig{
-				Beta:           1,
-				Tolerance:      cfg.Tolerance,
-				TestEvery:      0, // penalty type is pinned per run
-				InitialPenalty: pt,
-				Seed:           seed,
-			}
-			// Single landmark at the origin: "the offline derived parking
-			// locating at the origin".
-			es, err := core.NewESharing([]geo.Point{geo.Pt(0, 0)}, cfg.OpeningCost, nil, esCfg)
-			if err != nil {
-				return Table3Cell{}, err
-			}
-			placer = es
-		}
-		stream := stats.SamplePoints(stats.NewRNG(seed^0xabcdef), dist, cfg.Requests)
-		cost, decisions, err := core.RunStream(placer, stream, cfg.OpeningCost)
+// runPenaltyTrial runs a single trial: one seeded placer consuming one
+// seeded request stream. The trial's entire randomness derives from its
+// index (the seed formula below), so trials are independent tasks for
+// the parallel sweep.
+func runPenaltyTrial(cfg Table3Config, dist stats.PointDist, pt core.PenaltyType, trial int) (Table3Cell, error) {
+	seed := cfg.Seed + uint64(trial)*1009 + uint64(pt)*7
+	var placer core.OnlinePlacer
+	if pt == core.NoPenalty {
+		// The no-penalty column is the pure online baseline: fixed-f
+		// Meyerson without the offline landmark or the doubling
+		// schedule — it "has higher probabilities to establish new
+		// parking", minimising walking at maximal space cost.
+		mey, err := core.NewMeyerson(cfg.OpeningCost, seed)
 		if err != nil {
 			return Table3Cell{}, err
 		}
-		opened := 0
-		for _, d := range decisions {
-			if d.Opened {
-				opened++
-			}
+		placer = mey
+	} else {
+		esCfg := core.ESharingConfig{
+			Beta:           1,
+			Tolerance:      cfg.Tolerance,
+			TestEvery:      0, // penalty type is pinned per run
+			InitialPenalty: pt,
+			Seed:           seed,
 		}
-		cell.WalkingKm += cost.Walking / 1000
-		cell.SpaceKm += cost.Opening / 1000
-		cell.Stations += float64(opened)
+		// Single landmark at the origin: "the offline derived parking
+		// locating at the origin".
+		es, err := core.NewESharing([]geo.Point{geo.Pt(0, 0)}, cfg.OpeningCost, nil, esCfg)
+		if err != nil {
+			return Table3Cell{}, err
+		}
+		placer = es
+	}
+	stream := stats.SamplePoints(stats.NewRNG(seed^0xabcdef), dist, cfg.Requests)
+	cost, decisions, err := core.RunStream(placer, stream, cfg.OpeningCost)
+	if err != nil {
+		return Table3Cell{}, err
+	}
+	opened := 0
+	for _, d := range decisions {
+		if d.Opened {
+			opened++
+		}
+	}
+	return Table3Cell{
+		WalkingKm: cost.Walking / 1000,
+		SpaceKm:   cost.Opening / 1000,
+		Stations:  float64(opened),
+	}, nil
+}
+
+func runPenaltyTrials(cfg Table3Config, dist stats.PointDist, pt core.PenaltyType) (Table3Cell, error) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = parallel.Default()
+	}
+	type outcome struct {
+		cell Table3Cell
+		err  error
+	}
+	outs := parallel.Map(workers, cfg.Trials, func(w, trial int) outcome {
+		cell, err := runPenaltyTrial(cfg, dist, pt, trial)
+		return outcome{cell: cell, err: err}
+	})
+	// Fold in trial order: float sums are order-sensitive, so the fixed
+	// fold keeps the averages bit-identical to the sequential loop.
+	var cell Table3Cell
+	for _, o := range outs {
+		if o.err != nil {
+			return Table3Cell{}, o.err
+		}
+		cell.WalkingKm += o.cell.WalkingKm
+		cell.SpaceKm += o.cell.SpaceKm
+		cell.Stations += o.cell.Stations
 	}
 	n := float64(cfg.Trials)
 	cell.WalkingKm /= n

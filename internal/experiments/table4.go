@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/geo"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -26,6 +27,9 @@ type Table4Config struct {
 	// MinHourSamples is the per-hour sample floor for PerHour mode
 	// (default 8).
 	MinHourSamples int
+	// Workers bounds the parallel fan-out over day pairs; 0 means
+	// parallel.Default(). Results are bit-identical at any value.
+	Workers int
 }
 
 // DefaultTable4Config mirrors the evaluation volume.
@@ -93,70 +97,95 @@ func RunTable4(cfg Table4Config) (*Table4Result, error) {
 		samples[dow] = append(samples[dow], pts)
 	}
 
-	res := &Table4Result{}
-	var wwSum, weSum, crossSum float64
-	var wwN, weN, crossN int
+	// The 21 upper-triangle day pairs are independent KS aggregations;
+	// map over them in parallel. Within one pair the sample-pair loop
+	// keeps its sequential order, so the per-pair similarity sum — a
+	// float fold, hence order-sensitive — is unchanged.
+	type dayPair struct{ a, b int }
+	var pairs []dayPair
 	for a := 0; a < 7; a++ {
-		for b := 0; b < 7; b++ {
-			if a == b {
-				res.Matrix[a][b] = 100
-				continue
-			}
-			if b < a {
-				res.Matrix[a][b] = res.Matrix[b][a]
-				continue
-			}
-			var sum float64
-			var n int
-			if cfg.PerHour {
-				for _, ha := range hourly[a] {
-					for _, hb := range hourly[b] {
-						for h := 0; h < 24; h++ {
-							if len(ha[h]) < cfg.MinHourSamples || len(hb[h]) < cfg.MinHourSamples {
-								continue
-							}
-							d, err := stats.Peacock2DFast(ha[h], hb[h])
-							if err != nil {
-								return nil, fmt.Errorf("ks %s vs %s h%d: %w", dayNames[a], dayNames[b], h, err)
-							}
-							sum += stats.Similarity(d)
-							n++
-						}
-					}
-				}
-			} else {
-				for _, pa := range samples[a] {
-					for _, pb := range samples[b] {
-						if len(pa) == 0 || len(pb) == 0 {
+		for b := a + 1; b < 7; b++ {
+			pairs = append(pairs, dayPair{a, b})
+		}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = parallel.Default()
+	}
+	type pairOutcome struct {
+		sim float64
+		err error
+	}
+	pairSim := func(a, b int) (float64, error) {
+		var sum float64
+		var n int
+		if cfg.PerHour {
+			for _, ha := range hourly[a] {
+				for _, hb := range hourly[b] {
+					for h := 0; h < 24; h++ {
+						if len(ha[h]) < cfg.MinHourSamples || len(hb[h]) < cfg.MinHourSamples {
 							continue
 						}
-						d, err := stats.Peacock2DFast(pa, pb)
+						d, err := stats.Peacock2DFast(ha[h], hb[h])
 						if err != nil {
-							return nil, fmt.Errorf("ks %s vs %s: %w", dayNames[a], dayNames[b], err)
+							return 0, fmt.Errorf("ks %s vs %s h%d: %w", dayNames[a], dayNames[b], h, err)
 						}
 						sum += stats.Similarity(d)
 						n++
 					}
 				}
 			}
-			if n == 0 {
-				return nil, fmt.Errorf("experiments: no samples for %s vs %s", dayNames[a], dayNames[b])
-			}
-			sim := sum / float64(n)
-			res.Matrix[a][b] = sim
-			weekendA, weekendB := a >= 5, b >= 5
-			switch {
-			case !weekendA && !weekendB:
-				wwSum += sim
-				wwN++
-			case weekendA && weekendB:
-				weSum += sim
-				weN++
-			default:
-				crossSum += sim
-				crossN++
+		} else {
+			for _, pa := range samples[a] {
+				for _, pb := range samples[b] {
+					if len(pa) == 0 || len(pb) == 0 {
+						continue
+					}
+					d, err := stats.Peacock2DFast(pa, pb)
+					if err != nil {
+						return 0, fmt.Errorf("ks %s vs %s: %w", dayNames[a], dayNames[b], err)
+					}
+					sum += stats.Similarity(d)
+					n++
+				}
 			}
 		}
+		if n == 0 {
+			return 0, fmt.Errorf("experiments: no samples for %s vs %s", dayNames[a], dayNames[b])
+		}
+		return sum / float64(n), nil
+	}
+	outs := parallel.Map(workers, len(pairs), func(w, i int) pairOutcome {
+		sim, err := pairSim(pairs[i].a, pairs[i].b)
+		return pairOutcome{sim: sim, err: err}
+	})
+
+	res := &Table4Result{}
+	var wwSum, weSum, crossSum float64
+	var wwN, weN, crossN int
+	for i, pr := range pairs {
+		if outs[i].err != nil {
+			return nil, outs[i].err
+		}
+		a, b := pr.a, pr.b
+		sim := outs[i].sim
+		res.Matrix[a][b] = sim
+		res.Matrix[b][a] = sim
+		weekendA, weekendB := a >= 5, b >= 5
+		switch {
+		case !weekendA && !weekendB:
+			wwSum += sim
+			wwN++
+		case weekendA && weekendB:
+			weSum += sim
+			weN++
+		default:
+			crossSum += sim
+			crossN++
+		}
+	}
+	for a := 0; a < 7; a++ {
+		res.Matrix[a][a] = 100
 	}
 	if wwN > 0 {
 		res.WeekdayWeekday = wwSum / float64(wwN)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/forecast"
 	"repro/internal/geo"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -31,6 +32,9 @@ type Table5Config struct {
 	TrainDays int
 	// LSTM size for the predicted variant.
 	Hidden, Epochs int
+	// Workers bounds the parallel fan-out over regions; 0 means
+	// parallel.Default(). Results are bit-identical at any value.
+	Workers int
 }
 
 // DefaultTable5Config mirrors the evaluation.
@@ -126,90 +130,127 @@ func RunTable5(cfg Table5Config) (*Table5Result, error) {
 		return nil, err
 	}
 
+	// Region boxes come from one sequential RNG: draw them all up front
+	// (same draw order as the sequential loop), then fan the regions out.
+	// Every other random choice in a region is keyed on the region index
+	// (the cfg.Seed+region*13+salt formulas), so regions are independent
+	// tasks and no RNG draw depends on execution order.
 	rng := stats.NewRNG(cfg.Seed + 99)
 	fieldBox := geo.Square(geo.Pt(0, 0), 3000)
-
-	res := &Table5Result{Scatter: map[string][]Fig10Point{}}
-	var totalRequests int
-	var totalESWalk float64
-
-	for region := 0; region < cfg.Regions; region++ {
+	boxes := make([]geo.BBox, cfg.Regions)
+	for region := range boxes {
 		// Random sub-field fully inside the city box.
 		ox := rng.Float64() * (fieldBox.Width() - cfg.RegionSide)
 		oy := rng.Float64() * (fieldBox.Height() - cfg.RegionSide)
-		box := geo.Square(geo.Pt(fieldBox.MinX+ox, fieldBox.MinY+oy), cfg.RegionSide)
+		boxes[region] = geo.Square(geo.Pt(fieldBox.MinX+ox, fieldBox.MinY+oy), cfg.RegionSide)
+	}
 
+	type algoRun struct {
+		stations []geo.Point
+		cost     core.Cost
+	}
+	type regionOutcome struct {
+		skipped                  bool
+		err                      error
+		off, mey, okm, act, pred algoRun
+		walk                     float64
+		requests                 int
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = parallel.Default()
+	}
+	outs := parallel.Map(workers, cfg.Regions, func(w, region int) regionOutcome {
+		box := boxes[region]
 		testStream := destsIn(testTrips, box)
 		histPts := destsIn(trainTrips, box)
 		if len(testStream) < 30 || len(histPts) < 30 {
-			continue // degenerate region; skip
+			return regionOutcome{skipped: true} // degenerate region
 		}
+		var out regionOutcome
 		// Offline bound: solve on the test demand itself.
 		offStations, offCost, err := solveOfflineOn(testStream, cfg.CellMeters, cfg.OpeningCost)
 		if err != nil {
-			return nil, err
+			return regionOutcome{err: err}
 		}
-		accumulate(&res.Offline, "offline*", offStations, offCost)
-		res.Scatter["offline"] = append(res.Scatter["offline"], Fig10Point{
-			Region: region, Stations: len(offStations), TotalKm: offCost.Total() / 1000,
-		})
+		out.off = algoRun{stations: offStations, cost: offCost}
 
 		// Meyerson.
 		mey, err := core.NewMeyerson(cfg.OpeningCost, cfg.Seed+uint64(region)*13+1)
 		if err != nil {
-			return nil, err
+			return regionOutcome{err: err}
 		}
 		meyCost, _, err := core.RunStream(mey, testStream, cfg.OpeningCost)
 		if err != nil {
-			return nil, err
+			return regionOutcome{err: err}
 		}
-		accumulate(&res.Meyerson, "meyerson", mey.Stations(), meyCost)
-		res.Scatter["meyerson"] = append(res.Scatter["meyerson"], Fig10Point{
-			Region: region, Stations: len(mey.Stations()), TotalKm: meyCost.Total() / 1000,
-		})
+		out.mey = algoRun{stations: mey.Stations(), cost: meyCost}
 
 		// Online k-means with the offline k as target.
 		okm, err := core.NewOnlineKMeans(maxInt(len(offStations), 1), cfg.Seed+uint64(region)*13+2)
 		if err != nil {
-			return nil, err
+			return regionOutcome{err: err}
 		}
 		okmCost, _, err := core.RunStream(okm, testStream, cfg.OpeningCost)
 		if err != nil {
-			return nil, err
+			return regionOutcome{err: err}
 		}
-		accumulate(&res.OnlineKMeans, "online-kmeans", okm.Stations(), okmCost)
-		res.Scatter["online-kmeans"] = append(res.Scatter["online-kmeans"], Fig10Point{
-			Region: region, Stations: len(okm.Stations()), TotalKm: okmCost.Total() / 1000,
-		})
+		out.okm = algoRun{stations: okm.Stations(), cost: okmCost}
 
 		// E-sharing (actual): guided by the offline solution on the
 		// actual test demand.
 		actCost, actStations, actWalk, err := runESharing(offStations, histPts, testStream, cfg, region, 3)
 		if err != nil {
-			return nil, err
+			return regionOutcome{err: err}
 		}
-		accumulate(&res.ESharingAct, "e-sharing (actual)", actStations, actCost)
-		res.Scatter["e-sharing-actual"] = append(res.Scatter["e-sharing-actual"], Fig10Point{
-			Region: region, Stations: len(actStations), TotalKm: actCost.Total() / 1000,
-		})
-		totalESWalk += actWalk
-		totalRequests += len(testStream)
+		out.act = algoRun{stations: actStations, cost: actCost}
+		out.walk = actWalk
+		out.requests = len(testStream)
 
 		// E-sharing (predicted): the guide comes from history reshaped by
 		// the predicted volume.
 		predDemands := scaleDemands(histDemandsOrNil(histPts, cfg.CellMeters), predictedScale)
 		predStations, err := solveOnDemands(predDemands, cfg.OpeningCost)
 		if err != nil {
-			return nil, err
+			return regionOutcome{err: err}
 		}
 		predCost, predAll, _, err := runESharing(predStations, histPts, testStream, cfg, region, 4)
 		if err != nil {
-			return nil, err
+			return regionOutcome{err: err}
 		}
-		accumulate(&res.ESharingPred, "e-sharing (predicted)", predAll, predCost)
-		res.Scatter["e-sharing-predicted"] = append(res.Scatter["e-sharing-predicted"], Fig10Point{
-			Region: region, Stations: len(predAll), TotalKm: predCost.Total() / 1000,
-		})
+		out.pred = algoRun{stations: predAll, cost: predCost}
+		return out
+	})
+
+	res := &Table5Result{Scatter: map[string][]Fig10Point{}}
+	var totalRequests int
+	var totalESWalk float64
+	// Fold in region order so the float accumulations and scatter order
+	// match the sequential loop exactly.
+	for region, out := range outs {
+		if out.err != nil {
+			return nil, out.err
+		}
+		if out.skipped {
+			continue
+		}
+		scatter := func(name string, run algoRun) {
+			res.Scatter[name] = append(res.Scatter[name], Fig10Point{
+				Region: region, Stations: len(run.stations), TotalKm: run.cost.Total() / 1000,
+			})
+		}
+		accumulate(&res.Offline, "offline*", out.off.stations, out.off.cost)
+		scatter("offline", out.off)
+		accumulate(&res.Meyerson, "meyerson", out.mey.stations, out.mey.cost)
+		scatter("meyerson", out.mey)
+		accumulate(&res.OnlineKMeans, "online-kmeans", out.okm.stations, out.okm.cost)
+		scatter("online-kmeans", out.okm)
+		accumulate(&res.ESharingAct, "e-sharing (actual)", out.act.stations, out.act.cost)
+		scatter("e-sharing-actual", out.act)
+		totalESWalk += out.walk
+		totalRequests += out.requests
+		accumulate(&res.ESharingPred, "e-sharing (predicted)", out.pred.stations, out.pred.cost)
+		scatter("e-sharing-predicted", out.pred)
 	}
 	if res.Offline.Stations == 0 {
 		return nil, fmt.Errorf("experiments: every region degenerate; increase workload")

@@ -1,0 +1,60 @@
+package forecast
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// GridSpec is one candidate in a GridSearch sweep: a display name and a
+// constructor for a fresh, untrained model. The constructor owns any
+// seeding — every candidate must derive its randomness from its own
+// fixed seed, never from a generator shared across candidates, so the
+// sweep stays deterministic under parallel evaluation.
+type GridSpec struct {
+	Name string
+	New  func() (Forecaster, error)
+}
+
+// GridSearch fits and walk-forward-scores every candidate on the same
+// train/test split, fanned out over the given worker count (0 or less
+// means parallel.Default()). It returns the per-candidate RMSEs in spec
+// order and the index of the best candidate — the first strict minimum,
+// matching a sequential scan, so the winner is independent of the worker
+// count. Construction or scoring failures surface as the error of the
+// lowest-index failing candidate.
+func GridSearch(workers int, specs []GridSpec, train, test []float64, horizon int) ([]float64, int, error) {
+	if len(specs) == 0 {
+		return nil, -1, fmt.Errorf("forecast: empty grid")
+	}
+	if workers <= 0 {
+		workers = parallel.Default()
+	}
+	type outcome struct {
+		rmse float64
+		err  error
+	}
+	outs := parallel.Map(workers, len(specs), func(w, i int) outcome {
+		model, err := specs[i].New()
+		if err != nil {
+			return outcome{err: err}
+		}
+		if err := model.Fit(train); err != nil {
+			return outcome{err: err}
+		}
+		rmse, err := WalkForwardRMSE(model, train, test, horizon)
+		return outcome{rmse: rmse, err: err}
+	})
+	rmses := make([]float64, len(specs))
+	best := -1
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, -1, fmt.Errorf("forecast: grid %s: %w", specs[i].Name, o.err)
+		}
+		rmses[i] = o.rmse
+		if best == -1 || o.rmse < rmses[best] {
+			best = i
+		}
+	}
+	return rmses, best, nil
+}

@@ -1,0 +1,93 @@
+package forecast
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func searchSpecs() []GridSpec {
+	var specs []GridSpec
+	for _, wz := range []int{1, 2, 3, 4, 5} {
+		wz := wz
+		specs = append(specs, GridSpec{
+			Name: fmt.Sprintf("ma wz=%d", wz),
+			New:  func() (Forecaster, error) { return NewMovingAverage(wz) },
+		})
+	}
+	for _, p := range []int{2, 4, 6} {
+		p := p
+		specs = append(specs, GridSpec{
+			Name: fmt.Sprintf("arima p=%d", p),
+			New:  func() (Forecaster, error) { return NewARIMA(p, 1, 0) },
+		})
+	}
+	return specs
+}
+
+func searchSeries() []float64 {
+	series := make([]float64, 240)
+	for i := range series {
+		series[i] = 50 + 30*math.Sin(2*math.Pi*float64(i)/24) + 5*math.Cos(float64(i))
+	}
+	return series
+}
+
+func TestGridSearchMatchesSequentialScoring(t *testing.T) {
+	train, test, err := SplitTrainTest(searchSeries(), 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := searchSpecs()
+	// Sequential reference: fit and score each spec in order, winner by
+	// strict <.
+	want := make([]float64, len(specs))
+	wantBest := -1
+	for i, spec := range specs {
+		m, err := spec.New()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		want[i], err = WalkForwardRMSE(m, train, test, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantBest == -1 || want[i] < want[wantBest] {
+			wantBest = i
+		}
+	}
+	for _, workers := range []int{1, 2, 4, 7} {
+		got, best, err := GridSearch(workers, specs, train, test, 3)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if best != wantBest {
+			t.Errorf("workers=%d: best=%d (%s), want %d (%s)", workers, best, specs[best].Name, wantBest, specs[wantBest].Name)
+		}
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Errorf("workers=%d: rmse[%d]=%v, want %v (bit-exact)", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestGridSearchErrors(t *testing.T) {
+	train, test, err := SplitTrainTest(searchSeries(), 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := GridSearch(1, nil, train, test, 3); err == nil {
+		t.Error("empty grid should error")
+	}
+	specs := []GridSpec{
+		{Name: "ok", New: func() (Forecaster, error) { return NewMovingAverage(2) }},
+		{Name: "bad", New: func() (Forecaster, error) { return NewMovingAverage(0) }},
+	}
+	if _, _, err := GridSearch(4, specs, train, test, 3); err == nil {
+		t.Error("failing constructor should surface as an error")
+	}
+}

@@ -2,6 +2,7 @@ package incentive
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/energy"
 	"repro/internal/geo"
@@ -78,6 +79,7 @@ type Mechanism struct {
 	fleet    *energy.Fleet
 	low      map[int][]int64 // station index -> low-bike IDs still there
 	sinks    map[int]bool    // aggregation sites
+	sinkList []int           // sorted sink indices: deterministic scan order
 	paid     float64
 	offers   []Offer
 }
@@ -115,12 +117,18 @@ func NewMechanism(cfg MechanismConfig, stations []geo.Point, fleet *energy.Fleet
 	if len(sinkSet) == 0 {
 		return nil, fmt.Errorf("incentive: no aggregation sinks")
 	}
+	sinkList := make([]int, 0, len(sinkSet))
+	for s := range sinkSet {
+		sinkList = append(sinkList, s)
+	}
+	sort.Ints(sinkList)
 	return &Mechanism{
 		cfg:      cfg,
 		stations: append([]geo.Point(nil), stations...),
 		fleet:    fleet,
 		low:      lowCopy,
 		sinks:    sinkSet,
+		sinkList: sinkList,
 	}, nil
 }
 
@@ -179,10 +187,14 @@ func (m *Mechanism) HandlePickup(p Pickup) (Offer, bool, error) {
 
 	// Find the sink whose detour minimises the user's extra walk while
 	// respecting the mileage constraint and the bike's residual range.
+	// Scan in ascending station order: on a symmetric station layout two
+	// sinks can tie exactly on walk distance, and iterating the sink map
+	// would break the tie by map order — the lowest index must win every
+	// run.
 	bikeID := ids[0]
 	sink, extraWalk := -1, 0.0
 	bestWalk := p.Profile.MaxExtraWalk
-	for s := range m.sinks {
+	for _, s := range m.sinkList {
 		if s == p.From {
 			continue
 		}

@@ -1,0 +1,246 @@
+// Package parallel is the repository's deterministic fork–join engine.
+//
+// Every compute path in this codebase — the offline facility-location
+// greedy, the Peacock 2-D KS statistic, the forecasting grids and the
+// experiment sweeps — must produce bit-identical output for a given seed
+// regardless of how many cores it runs on. This package makes that
+// tractable by construction:
+//
+//   - Work is split over index ranges into at most `workers` contiguous
+//     chunks; each chunk is processed by one goroutine in ascending index
+//     order, exactly like the sequential loop it replaces.
+//   - Every task keeps its deterministic identity: its index. Callbacks
+//     that need randomness derive a stream from that identity (e.g.
+//     stats.NewWorkerRNG(seed, stream, index)) instead of sharing a
+//     sequentially-consumed generator.
+//   - Reductions fold per-chunk results in index order with stable
+//     tie-breaks (strict comparisons, lowest index wins), so the fold is
+//     equivalent to the sequential left-to-right scan.
+//
+// With those three rules, workers=1 and workers=N run the same
+// floating-point operations in the same order per item and combine them
+// identically, so output bits cannot depend on the worker count. The
+// differential tests in this package and in core/stats/experiments
+// enforce that at parallelism 1, 2, 4 and 7.
+//
+// The process-wide default worker count comes from the
+// ESHARING_PARALLELISM environment variable when set (a positive
+// integer), otherwise GOMAXPROCS; binaries expose it as a -parallelism
+// flag via SetDefault.
+package parallel
+
+import (
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvVar names the environment variable consulted for the default
+// worker count.
+const EnvVar = "ESHARING_PARALLELISM"
+
+// defaultWorkers holds the process-wide default parallelism. It is only
+// read through Default and written through SetDefault (both atomic), so
+// flag wiring in main and concurrent compute paths never race.
+var defaultWorkers atomic.Int64
+
+func init() {
+	defaultWorkers.Store(int64(initialWorkers()))
+}
+
+func initialWorkers() int {
+	if s := os.Getenv(EnvVar); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 1 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Default returns the process-wide default worker count (≥ 1).
+func Default() int {
+	return int(defaultWorkers.Load())
+}
+
+// SetDefault sets the process-wide default worker count. Values below 1
+// reset to the environment/GOMAXPROCS-derived initial value; SetDefault(1)
+// forces every default-parallelism compute path to run sequentially.
+func SetDefault(n int) {
+	if n < 1 {
+		n = initialWorkers()
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// clamp bounds workers to [1, n] so no goroutine ever owns an empty
+// chunk and a non-positive request degrades to sequential execution.
+func clamp(workers, n int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// chunk returns the half-open index range owned by worker w: contiguous,
+// ascending, covering [0, n) exactly once across the w's.
+func chunk(w, workers, n int) (lo, hi int) {
+	return w * n / workers, (w + 1) * n / workers
+}
+
+// ForChunks splits [0, n) into at most `workers` contiguous chunks and
+// calls body(worker, lo, hi) once per non-empty chunk, concurrently.
+// Chunk boundaries depend only on (workers, n), never on scheduling, and
+// body must process its range in ascending order when item order matters.
+// With workers ≤ 1 (or n ≤ 1) the body runs inline on the caller's
+// goroutine — the zero-overhead sequential path.
+func ForChunks(workers, n int, body func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = clamp(workers, n)
+	if workers == 1 {
+		body(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := chunk(w, workers, n)
+			if lo < hi {
+				body(w, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// For calls body(worker, i) for every i in [0, n), fanned out in
+// contiguous chunks. Each worker visits its indices in ascending order.
+func For(workers, n int, body func(worker, i int)) {
+	ForChunks(workers, n, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(w, i)
+		}
+	})
+}
+
+// Map evaluates f for every index in [0, n) across `workers` goroutines
+// and returns the results in index order. Because each result lands in
+// its own slot, the output is independent of scheduling by construction.
+func Map[T any](workers, n int, f func(worker, i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	For(workers, n, func(w, i int) {
+		out[i] = f(w, i)
+	})
+	return out
+}
+
+// MapReduce maps every index through mapf and folds the results in
+// index order: reduce(...reduce(reduce(init, m(0)), m(1))..., m(n-1)).
+// The fold order is fixed, so non-commutative reductions (floating-point
+// sums, first-wins tie-breaks) behave exactly like the sequential loop.
+func MapReduce[T, R any](workers, n int, mapf func(worker, i int) T, reduce func(acc R, v T) R, init R) R {
+	vals := Map(workers, n, mapf)
+	acc := init
+	for _, v := range vals {
+		acc = reduce(acc, v)
+	}
+	return acc
+}
+
+// MinIndex returns the index and value of the minimum of key(0..n-1),
+// with the exact semantics of the sequential scan
+//
+//	best, bestVal := -1, +Inf
+//	for i := 0; i < n; i++ { if key(i) < bestVal { best, bestVal = i, key(i) } }
+//
+// Ties keep the lowest index (strict <), and NaN keys never win (any
+// comparison with NaN is false) — so (-1, +Inf) comes back when n == 0
+// or every key is NaN. Each chunk scans ascending and chunk winners fold
+// in chunk order with the same strict comparison, which makes the result
+// independent of the worker count.
+func MinIndex(workers, n int, key func(i int) float64) (int, float64) {
+	type minAt struct {
+		idx int
+		val float64
+	}
+	scan := func(lo, hi int) minAt {
+		best := minAt{idx: -1, val: math.Inf(1)}
+		for i := lo; i < hi; i++ {
+			if v := key(i); v < best.val {
+				best = minAt{idx: i, val: v}
+			}
+		}
+		return best
+	}
+	if n <= 0 {
+		return -1, math.Inf(1)
+	}
+	workers = clamp(workers, n)
+	if workers == 1 {
+		b := scan(0, n)
+		return b.idx, b.val
+	}
+	chunks := make([]minAt, workers)
+	ForChunks(workers, n, func(w, lo, hi int) {
+		chunks[w] = scan(lo, hi)
+	})
+	best := minAt{idx: -1, val: math.Inf(1)}
+	for _, c := range chunks {
+		// Strict < in chunk order keeps the lowest winning index: an
+		// equal value in a later chunk never displaces an earlier one.
+		if c.idx >= 0 && c.val < best.val {
+			best = c
+		}
+	}
+	return best.idx, best.val
+}
+
+// MaxFloat returns the maximum of f(0..n-1) under strict > with NaN
+// values ignored, folding chunk maxima in chunk order; -Inf when n == 0
+// or every value is NaN. The maximum of a set is permutation-invariant,
+// but the fixed fold order keeps the implementation auditable against
+// the sequential loop it replaces.
+func MaxFloat(workers, n int, f func(i int) float64) float64 {
+	scan := func(lo, hi int) float64 {
+		best := math.Inf(-1)
+		for i := lo; i < hi; i++ {
+			if v := f(i); v > best {
+				best = v
+			}
+		}
+		return best
+	}
+	if n <= 0 {
+		return math.Inf(-1)
+	}
+	workers = clamp(workers, n)
+	if workers == 1 {
+		return scan(0, n)
+	}
+	chunks := make([]float64, workers)
+	ForChunks(workers, n, func(w, lo, hi int) {
+		chunks[w] = scan(lo, hi)
+	})
+	best := math.Inf(-1)
+	for _, v := range chunks {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// peacock2DFastReference is the sequential seed loop Peacock2DFastWorkers
+// must reproduce bit for bit at every worker count.
+func peacock2DFastReference(a, b []geo.Point) (float64, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, ErrEmptySample
+	}
+	var d float64
+	for _, origin := range a {
+		if diff := quadrantMaxDiff(a, b, origin.X, origin.Y); diff > d {
+			d = diff
+		}
+	}
+	for _, origin := range b {
+		if diff := quadrantMaxDiff(a, b, origin.X, origin.Y); diff > d {
+			d = diff
+		}
+	}
+	return d, nil
+}
+
+func ksSamplePair(seed uint64, na, nb int) (a, b []geo.Point) {
+	rng := NewRNG(seed)
+	box := geo.Square(geo.Pt(0, 0), 1000)
+	a = SamplePoints(rng, UniformDist{Box: box}, na)
+	// b drawn from a shifted box so D is neither 0 nor 1, plus a few
+	// duplicated points from a to exercise tied coordinates.
+	b = SamplePoints(rng, UniformDist{Box: geo.Square(geo.Pt(300, 300), 1000)}, nb)
+	for i := 0; i < len(b) && i < len(a)/10; i++ {
+		b[i] = a[i]
+	}
+	return a, b
+}
+
+func TestPeacock2DFastWorkersMatchesReference(t *testing.T) {
+	sizes := []struct{ na, nb int }{{1, 1}, {5, 3}, {40, 60}, {120, 120}}
+	for _, sz := range sizes {
+		a, b := ksSamplePair(uint64(17+sz.na), sz.na, sz.nb)
+		want, err := peacock2DFastReference(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 7} {
+			got, err := Peacock2DFastWorkers(a, b, workers)
+			if err != nil {
+				t.Fatalf("na=%d nb=%d workers=%d: %v", sz.na, sz.nb, workers, err)
+			}
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("na=%d nb=%d workers=%d: D=%v, want %v (bit-exact)", sz.na, sz.nb, workers, got, want)
+			}
+		}
+	}
+}
+
+func TestPeacock2DFastWorkersEmptySample(t *testing.T) {
+	pts := []geo.Point{geo.Pt(1, 2)}
+	for _, workers := range []int{1, 4} {
+		if _, err := Peacock2DFastWorkers(nil, pts, workers); err == nil {
+			t.Error("empty a should error")
+		}
+		if _, err := Peacock2DFastWorkers(pts, nil, workers); err == nil {
+			t.Error("empty b should error")
+		}
+	}
+}
+
+// BenchmarkPeacock2DFastReference times the seed loop on the same
+// samples as BenchmarkPeacock2DFast for like-for-like speedup numbers.
+func BenchmarkPeacock2DFastReference(b *testing.B) {
+	for _, n := range []int{100, 500} {
+		pa, pb := ksSamplePair(uint64(n), n, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := peacock2DFastReference(pa, pb); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPeacock2DFast(b *testing.B) {
+	for _, n := range []int{100, 500} {
+		pa, pb := ksSamplePair(uint64(n), n, n)
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := Peacock2DFastWorkers(pa, pb, workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
