@@ -14,6 +14,7 @@
 //	                [-opening 10000] [-seed 1] [-trips-csv history.csv]
 //	                [-max-inflight 256] [-pprof-addr :6060]
 //	                [-read-timeout 10s] [-write-timeout 30s] [-idle-timeout 2m]
+//	                [-wal-dir /var/lib/esharing] [-wal-sync 1] [-wal-snapshot-every 4096]
 package main
 
 import (
@@ -57,6 +58,9 @@ func run(args []string) error {
 	readTimeout := fs.Duration("read-timeout", 10*time.Second, "http.Server ReadTimeout")
 	writeTimeout := fs.Duration("write-timeout", 30*time.Second, "http.Server WriteTimeout")
 	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
+	walDir := fs.String("wal-dir", "", "directory for the durable decision log; empty disables durability, an existing log is replayed on startup")
+	walSync := fs.Int("wal-sync", 1, "fsync the decision log every N appends (1 = every decision, 0 = leave flushing to the OS)")
+	walSnapshotEvery := fs.Uint64("wal-snapshot-every", 4096, "checkpoint placer state and truncate the log after this many records (0 disables snapshots)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,22 +77,29 @@ func run(args []string) error {
 	}
 	log.Printf("algorithm %s ready with %d initial stations", placer.Name(), len(placer.Stations()))
 
+	opts := []server.Option{server.WithMaxInFlight(*maxInflight)}
+	if *walDir != "" {
+		opts = append(opts, server.WithWAL(*walDir, *walSync, *walSnapshotEvery))
+	}
 	var handler *server.Server
 	if *fleetSize > 0 {
 		fleet, err := buildFleet(placer, *fleetSize, *seed)
 		if err != nil {
 			return fmt.Errorf("build fleet: %w", err)
 		}
-		handler, err = server.NewWithFleet(placer, fleet, server.WithMaxInFlight(*maxInflight))
+		handler, err = server.NewWithFleet(placer, fleet, opts...)
 		if err != nil {
 			return err
 		}
 		log.Printf("fleet of %d bikes registered; tier-2 endpoints enabled", *fleetSize)
 	} else {
-		handler, err = server.New(placer, server.WithMaxInFlight(*maxInflight))
+		handler, err = server.New(placer, opts...)
 		if err != nil {
 			return err
 		}
+	}
+	if *walDir != "" {
+		log.Printf("decision log at %s (%d records recovered)", *walDir, handler.WALRecords())
 	}
 	srv := &http.Server{
 		Addr:              *addr,
@@ -133,7 +144,13 @@ func run(args []string) error {
 		log.Printf("received %v, shutting down", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		return srv.Shutdown(ctx)
+		err := srv.Shutdown(ctx)
+		// Close after Shutdown: no placement can be in flight, so the
+		// final decision-log sync cannot race a request.
+		if closeErr := handler.Close(); err == nil {
+			err = closeErr
+		}
+		return err
 	}
 }
 

@@ -13,6 +13,13 @@
 // in practice — a new code path touching guarded state with no lock in
 // sight. Constructor-time accesses before the value is shared can be
 // waived with //esharing:allow guardedby and a justification.
+//
+// One access shape is exempt without a waiver: calling Load on a
+// guarded sync/atomic field. Annotating an atomic field expresses the
+// single-writer discipline — mutation (Store, Add, swap) happens only
+// under the lock — while the whole point of making it atomic is that
+// readers may Load it lock-free; flagging those reads would force a
+// waiver onto every legitimate lock-free reader.
 package guardedby
 
 import (
@@ -27,7 +34,8 @@ import (
 var Analyzer = &lintkit.Analyzer{
 	Name: "guardedby",
 	Doc: "fields annotated '// guarded by <lock>' may only be accessed in functions that " +
-		"acquire that lock (Lock/RLock or a channel-lock send) or are annotated 'caller holds <lock>'",
+		"acquire that lock (Lock/RLock or a channel-lock send) or are annotated 'caller holds <lock>'; " +
+		"Load calls on guarded sync/atomic fields are exempt (single-writer discipline)",
 	Run: run,
 }
 
@@ -48,7 +56,17 @@ func run(pass *lintkit.Pass) error {
 				continue
 			}
 			held := heldLocks(fn)
+			exempt := map[*ast.SelectorExpr]bool{}
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				// A CallExpr is visited before its operands, so marking
+				// the receiver selection of an atomic Load here exempts
+				// it by the time the traversal reaches it below.
+				if call, ok := n.(*ast.CallExpr); ok {
+					if recv := atomicLoadReceiver(pass.Info, call); recv != nil {
+						exempt[recv] = true
+					}
+					return true
+				}
 				sel, ok := n.(*ast.SelectorExpr)
 				if !ok {
 					return true
@@ -58,7 +76,7 @@ func run(pass *lintkit.Pass) error {
 					return true
 				}
 				lock, guarded := guards[field]
-				if !guarded || held[lock] {
+				if !guarded || held[lock] || exempt[sel] {
 					return true
 				}
 				pass.Reportf(sel.Sel.Pos(),
@@ -108,6 +126,39 @@ func guardAnnotation(field *ast.Field) string {
 		}
 	}
 	return ""
+}
+
+// atomicLoadReceiver returns the field selection serving as the
+// receiver of a sync/atomic Load call (the s.counter in
+// s.counter.Load()), or nil when call is anything else. Only methods
+// named Load on fields whose type lives in sync/atomic qualify — a
+// Load on some other type with a guarded field as receiver still
+// needs the lock.
+func atomicLoadReceiver(info *types.Info, call *ast.CallExpr) *ast.SelectorExpr {
+	fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || fun.Sel.Name != "Load" {
+		return nil
+	}
+	recv, ok := ast.Unparen(fun.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	field := fieldOf(info, recv)
+	if field == nil || !isAtomicType(field.Type()) {
+		return nil
+	}
+	return recv
+}
+
+// isAtomicType reports whether t is one of sync/atomic's value types
+// (Int64, Uint64, Bool, Pointer[T], ...).
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
 }
 
 // fieldOf resolves sel to the struct field object it selects, or nil

@@ -1,9 +1,14 @@
 // Package locks exercises guardedby: annotated fields accessed without
 // the lock are flagged; Lock/RLock acquisition, channel-lock sends and
-// "caller holds" contracts are all recognised.
+// "caller holds" contracts are all recognised, and Load calls on
+// guarded sync/atomic fields are exempt (single-writer discipline:
+// mutation needs the lock, lock-free reads are the point).
 package locks
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 type store struct {
 	mu sync.Mutex
@@ -18,7 +23,20 @@ type store struct {
 	// (send = acquire, receive = release).
 	decision chan struct{}
 	placer   string // guarded by decision
+
+	// walkBits is written only under decision (single writer) but read
+	// lock-free via Load by the stats handlers.
+	walkBits atomic.Uint64 // guarded by decision
+
+	// loadable is NOT atomic: its Load method gets no exemption.
+	loadable loader // guarded by mu
 }
+
+// loader has a Load method but is an ordinary struct, so selecting it
+// still requires the lock.
+type loader struct{ v int }
+
+func (l loader) Load() int { return l.v }
 
 func (s *store) locked() int {
 	s.mu.Lock()
@@ -53,6 +71,31 @@ func (s *store) channelLocked() string {
 
 func (s *store) channelUnlocked() string {
 	return s.placer // want `placer is guarded by decision, but channelUnlocked neither acquires decision`
+}
+
+// atomicRead exercises the Load exemption: a lock-free read of a
+// guarded atomic is the sanctioned single-writer pattern.
+func (s *store) atomicRead() uint64 {
+	return s.walkBits.Load()
+}
+
+// atomicWrite mutates the guarded atomic without the lock: Store gets
+// no exemption — only Load does.
+func (s *store) atomicWrite(v uint64) {
+	s.walkBits.Store(v) // want `walkBits is guarded by decision, but atomicWrite neither acquires decision`
+}
+
+// atomicWriteLocked is the legitimate single writer.
+func (s *store) atomicWriteLocked(v uint64) {
+	s.decision <- struct{}{}
+	defer func() { <-s.decision }()
+	s.walkBits.Store(v)
+}
+
+// nonAtomicLoad calls a Load method on a non-atomic guarded field; the
+// exemption must not fire on method name alone.
+func (s *store) nonAtomicLoad() int {
+	return s.loadable.Load() // want `loadable is guarded by mu, but nonAtomicLoad neither acquires mu`
 }
 
 // newStore builds an unshared value; the constructor-time write is

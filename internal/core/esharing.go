@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math/rand/v2"
 
 	"repro/internal/geo"
 	"repro/internal/stats"
@@ -89,7 +88,11 @@ type ESharing struct {
 	opensSince  int // online openings since last doubling
 	onlineOpens int
 	lastSim     float64
-	rng         *rand.Rand
+	rng         *stats.SnapshotRNG
+
+	// configDigest fingerprints the immutable construction inputs
+	// (config, base cost, landmarks, history); see ConfigDigest.
+	configDigest uint64
 
 	// customPenalty, when non-nil, overrides penalty.Eval and suspends
 	// KS-driven switching (see SetCustomPenalty).
@@ -138,14 +141,15 @@ func NewESharing(offline []geo.Point, baseOpening float64, hist []geo.Point, cfg
 		// dimensionally ambiguous; starting at f and doubling reproduces
 		// the paper's reported behaviour (Fig. 6: 2 online openings over
 		// 100 in-distribution requests, ~3 for the surge) — see DESIGN.md.
-		f:         baseOpening,
-		k:         k,
-		landmarks: k,
-		index:     geo.NewDynamicIndex(offline),
-		penalty:   pen,
-		hist:      append([]geo.Point(nil), hist...),
-		lastSim:   100,
-		rng:       stats.NewRNGStream(cfg.Seed, stats.StreamESharing),
+		f:            baseOpening,
+		k:            k,
+		landmarks:    k,
+		index:        geo.NewDynamicIndex(offline),
+		penalty:      pen,
+		hist:         append([]geo.Point(nil), hist...),
+		lastSim:      100,
+		rng:          stats.NewSnapshotRNGStream(cfg.Seed, stats.StreamESharing),
+		configDigest: esharingConfigDigest(offline, baseOpening, hist, cfg),
 	}, nil
 }
 

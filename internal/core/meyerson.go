@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"math/rand/v2"
 	"sort"
 
 	"repro/internal/geo"
@@ -38,9 +37,10 @@ type OnlinePlacer interface {
 // from the nearest open facility opens a new one with probability
 // min(d/f, 1), otherwise it is assigned to that facility.
 type Meyerson struct {
-	OpeningCost float64
-	rng         *rand.Rand
-	index       *geo.DynamicIndex
+	OpeningCost  float64
+	rng          *stats.SnapshotRNG
+	index        *geo.DynamicIndex
+	configDigest uint64
 }
 
 var _ OnlinePlacer = (*Meyerson)(nil)
@@ -51,9 +51,10 @@ func NewMeyerson(openingCost float64, seed uint64) (*Meyerson, error) {
 		return nil, fmt.Errorf("core: meyerson opening cost %v must be positive", openingCost)
 	}
 	return &Meyerson{
-		OpeningCost: openingCost,
-		rng:         stats.NewRNGStream(seed, stats.StreamMeyerson),
-		index:       geo.NewDynamicIndex(nil),
+		OpeningCost:  openingCost,
+		rng:          stats.NewSnapshotRNGStream(seed, stats.StreamMeyerson),
+		index:        geo.NewDynamicIndex(nil),
+		configDigest: meyersonConfigDigest(openingCost, seed),
 	}, nil
 }
 
@@ -95,11 +96,12 @@ func (m *Meyerson) Name() string { return "meyerson" }
 type OnlineKMeans struct {
 	TargetK int
 
-	rng      *rand.Rand
-	index    *geo.DynamicIndex
-	buffer   []geo.Point // first k+1 points used to estimate w*
-	facility float64
-	phaseNew int
+	rng          *stats.SnapshotRNG
+	index        *geo.DynamicIndex
+	buffer       []geo.Point // first k+1 points used to estimate w*
+	facility     float64
+	phaseNew     int
+	configDigest uint64
 }
 
 var _ OnlinePlacer = (*OnlineKMeans)(nil)
@@ -110,9 +112,10 @@ func NewOnlineKMeans(targetK int, seed uint64) (*OnlineKMeans, error) {
 		return nil, fmt.Errorf("core: online k-means target %d < 1", targetK)
 	}
 	return &OnlineKMeans{
-		TargetK: targetK,
-		rng:     stats.NewRNGStream(seed, stats.StreamOnlineKMeans),
-		index:   geo.NewDynamicIndex(nil),
+		TargetK:      targetK,
+		rng:          stats.NewSnapshotRNGStream(seed, stats.StreamOnlineKMeans),
+		index:        geo.NewDynamicIndex(nil),
+		configDigest: kmeansConfigDigest(targetK, seed),
 	}, nil
 }
 

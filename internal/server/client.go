@@ -74,11 +74,24 @@ func WithRetryPolicy(p RetryPolicy) ClientOption {
 	return func(c *Client) { c.retry = p }
 }
 
+// WithClock injects the time source used to interpret HTTP-date
+// Retry-After headers (their delay is the date minus "now").
+// Deterministic tests inject a fixed clock so backoff sequences stay
+// exact; production clients keep the default time.Now.
+func WithClock(now func() time.Time) ClientOption {
+	return func(c *Client) {
+		if now != nil {
+			c.now = now
+		}
+	}
+}
+
 // Client is a typed HTTP client for the E-Sharing API.
 type Client struct {
 	base  string
 	http  *http.Client
 	retry RetryPolicy
+	now   func() time.Time // injectable for deterministic Retry-After dates
 }
 
 // NewClient builds a client against baseURL (e.g. "http://localhost:8080").
@@ -90,7 +103,7 @@ func NewClient(baseURL string, httpClient *http.Client, opts ...ClientOption) (*
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	c := &Client{base: baseURL, http: httpClient, retry: DefaultRetryPolicy()}
+	c := &Client{base: baseURL, http: httpClient, retry: DefaultRetryPolicy(), now: time.Now}
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -190,7 +203,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 		return true, nil
 	}
 
-	apiErr := readAPIError(resp) // drains and closes the body
+	apiErr := c.readAPIError(resp) // drains and closes the body
 	wrapped := fmt.Errorf("%s %s: %w", method, path, apiErr)
 	retryable := resp.StatusCode == http.StatusTooManyRequests ||
 		(method == http.MethodGet && resp.StatusCode >= 500)
@@ -218,7 +231,7 @@ func (e *StatusError) Error() string {
 
 // readAPIError converts a non-OK response into a *StatusError, draining
 // the body so the underlying connection stays reusable.
-func readAPIError(resp *http.Response) *StatusError {
+func (c *Client) readAPIError(resp *http.Response) *StatusError {
 	se := &StatusError{Status: resp.StatusCode}
 	var apiErr errorBody
 	if decodeErr := json.NewDecoder(resp.Body).Decode(&apiErr); decodeErr == nil {
@@ -226,11 +239,34 @@ func readAPIError(resp *http.Response) *StatusError {
 	}
 	drainClose(resp.Body)
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
-		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
-			se.RetryAfter = time.Duration(secs) * time.Second
-		}
+		se.RetryAfter = parseRetryAfter(ra, c.now)
 	}
 	return se
+}
+
+// parseRetryAfter interprets a Retry-After header value per RFC 9110
+// §10.2.3: either delta-seconds or an HTTP-date in any of the three
+// accepted formats (IMF-fixdate, obsolete RFC 850, ANSI C asctime).
+// Negative deltas and past dates clamp to zero, which the backoff
+// treats as "no usable hint" and falls back to its computed delay;
+// malformed values also yield zero. The clock is only consulted for
+// the date forms.
+func parseRetryAfter(ra string, now func() time.Time) time.Duration {
+	if secs, err := strconv.Atoi(ra); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	date, err := http.ParseTime(ra)
+	if err != nil {
+		return 0
+	}
+	d := date.Sub(now())
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 // backoff computes the sleep before retry number attempt+1:

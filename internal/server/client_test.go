@@ -2,7 +2,9 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -295,5 +297,115 @@ func TestNewClientDefaultsJitter(t *testing.T) {
 	}
 	if d := c.backoff(0, nil); d <= 0 {
 		t.Fatalf("backoff with defaulted jitter = %v, want > 0", d)
+	}
+}
+
+// TestParseRetryAfter covers RFC 9110 §10.2.3's full grammar:
+// delta-seconds plus all three HTTP-date formats, with negative deltas,
+// past dates and garbage clamped to zero. The clock is injected, so
+// every expectation is exact.
+func TestParseRetryAfter(t *testing.T) {
+	// A fixed "now" makes the date arithmetic deterministic.
+	now := time.Date(2024, time.March, 10, 12, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	future := now.Add(90 * time.Second)
+	for _, tc := range []struct {
+		name, header string
+		want         time.Duration
+	}{
+		{"delta seconds", "7", 7 * time.Second},
+		{"delta zero", "0", 0},
+		{"delta negative", "-5", 0},
+		{"imf fixdate", future.Format(http.TimeFormat), 90 * time.Second},
+		{"rfc850", future.Format("Monday, 02-Jan-06 15:04:05 MST"), 90 * time.Second},
+		{"ansi c asctime", future.Format(time.ANSIC), 90 * time.Second},
+		{"past date", now.Add(-time.Hour).Format(http.TimeFormat), 0},
+		{"exactly now", now.Format(http.TimeFormat), 0},
+		{"garbage", "soon", 0},
+		{"empty", "", 0},
+		{"float seconds", "2.5", 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := parseRetryAfter(tc.header, clock); got != tc.want {
+				t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.header, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestClientRetryAfterDateHeader drives the date form end to end: a
+// shedding server answers with an HTTP-date Retry-After, and the
+// client (on an injected clock) must surface the exact remaining
+// delay in its StatusError.
+func TestClientRetryAfterDateHeader(t *testing.T) {
+	now := time.Date(2024, time.March, 10, 12, 0, 0, 0, time.UTC)
+	retryAt := now.Add(30 * time.Second)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Retry-After", retryAt.Format(http.TimeFormat))
+		w.WriteHeader(http.StatusUnprocessableEntity) // non-retryable: error surfaces immediately
+		fmt.Fprintln(w, `{"error":"nope"}`)
+	}))
+	defer ts.Close()
+	client, err := NewClient(ts.URL, ts.Client(),
+		WithRetryPolicy(RetryPolicy{MaxAttempts: 1}),
+		WithClock(func() time.Time { return now }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = client.Place(context.Background(), geo.Pt(1, 2))
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want StatusError", err)
+	}
+	if se.RetryAfter != 30*time.Second {
+		t.Errorf("RetryAfter = %v, want 30s", se.RetryAfter)
+	}
+}
+
+// TestBackoffRetryAfterDateExact extends the exact-schedule contract
+// to date-form hints: with an injected clock and jitter, the backoff
+// from an HTTP-date Retry-After is predictable to the nanosecond.
+func TestBackoffRetryAfterDateExact(t *testing.T) {
+	now := time.Date(2024, time.March, 10, 12, 0, 0, 0, time.UTC)
+	c, err := NewClient("http://unused", nil,
+		WithRetryPolicy(RetryPolicy{
+			MaxAttempts: 4,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    10 * time.Second,
+			Jitter:      NewSeededJitter(11),
+		}),
+		WithClock(func() time.Time { return now }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := &http.Response{
+		StatusCode: http.StatusTooManyRequests,
+		Header:     http.Header{"Retry-After": []string{now.Add(4 * time.Second).Format(http.TimeFormat)}},
+		Body:       io.NopCloser(strings.NewReader(`{"error":"shed"}`)),
+	}
+	se := c.readAPIError(resp)
+	if se.RetryAfter != 4*time.Second {
+		t.Fatalf("RetryAfter = %v, want 4s", se.RetryAfter)
+	}
+	oracle := NewSeededJitter(11)
+	want := 2*time.Second + oracle(2*time.Second)
+	if got := c.backoff(0, fmt.Errorf("wrapped: %w", se)); got != want {
+		t.Fatalf("backoff = %v, want exactly %v", got, want)
+	}
+
+	// A past date yields no hint, so the computed envelope applies:
+	// attempt 0 uses BaseDelay, again exactly predictable.
+	resp = &http.Response{
+		StatusCode: http.StatusTooManyRequests,
+		Header:     http.Header{"Retry-After": []string{now.Add(-time.Minute).Format(http.TimeFormat)}},
+		Body:       io.NopCloser(strings.NewReader(`{"error":"shed"}`)),
+	}
+	se = c.readAPIError(resp)
+	if se.RetryAfter != 0 {
+		t.Fatalf("past-date RetryAfter = %v, want 0", se.RetryAfter)
+	}
+	want = 500*time.Microsecond + oracle(500*time.Microsecond)
+	if got := c.backoff(0, fmt.Errorf("wrapped: %w", se)); got != want {
+		t.Fatalf("backoff = %v, want exactly %v", got, want)
 	}
 }

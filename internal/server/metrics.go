@@ -17,15 +17,18 @@ import (
 // atomics — so a /metrics scrape (or a latency observation on the hot
 // path) never contends with the serialised decision stream.
 
-// Endpoint indices for the instrumented routes. Fleet endpoints are
-// registered only by NewWithFleet but always have slots so the arrays
-// stay fixed-size.
+// Endpoint indices for the instrumented routes. epOther catches
+// requests no registered route matches (the mux's 404/405 responses),
+// which would otherwise bypass instrumentation and leave client-visible
+// errors uncounted. Fleet endpoints are registered only by NewWithFleet
+// but always have slots so the arrays stay fixed-size.
 const (
 	epPlace = iota
 	epStations
 	epStats
 	epHealth
 	epMetrics
+	epOther
 	epBikes
 	epAddBike
 	epRide
@@ -34,7 +37,7 @@ const (
 )
 
 var endpointNames = [numEndpoints]string{
-	"place", "stations", "stats", "healthz", "metrics",
+	"place", "stations", "stats", "healthz", "metrics", "other",
 	"bikes", "add_bike", "ride", "charging_round",
 }
 
@@ -45,6 +48,7 @@ const (
 	kindBadRequest = iota
 	kindTooLarge
 	kindNotFound
+	kindMethodNotAllowed
 	kindUnprocessable
 	kindShed
 	kindCanceled
@@ -54,8 +58,8 @@ const (
 )
 
 var kindNames = [numKinds]string{
-	"bad_request", "too_large", "not_found", "unprocessable",
-	"shed", "canceled", "server_error", "other",
+	"bad_request", "too_large", "not_found", "method_not_allowed",
+	"unprocessable", "shed", "canceled", "server_error", "other",
 }
 
 // statusClientClosedRequest reports a request whose context was
@@ -69,6 +73,8 @@ func kindOfStatus(status int) int {
 		return kindTooLarge
 	case status == http.StatusNotFound:
 		return kindNotFound
+	case status == http.StatusMethodNotAllowed:
+		return kindMethodNotAllowed
 	case status == http.StatusUnprocessableEntity:
 		return kindUnprocessable
 	case status == http.StatusTooManyRequests:
@@ -246,6 +252,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if hasFleet {
 		writeMetric("esharing_fleet_bikes", "Registered bikes.", "gauge", fleetSize)
 		writeMetric("esharing_fleet_low_bikes", "Bikes below the charging threshold.", "gauge", fleetLow)
+	}
+	// The wal pointer is written once during construction and never
+	// reassigned while serving; its Metrics() reads are atomic.
+	if s.wal != nil { //esharing:allow guardedby -- set-once pointer, internally atomic counters
+		wm := s.wal.Metrics() //esharing:allow guardedby -- same
+		writeMetric("esharing_wal_appended_records_total", "Decision log records appended.", "counter", wm.Appended)
+		writeMetric("esharing_wal_fsyncs_total", "Explicit fsyncs issued by the decision log.", "counter", wm.Fsyncs)
+		writeMetric("esharing_wal_truncations_total", "Snapshot-and-truncate cycles completed.", "counter", wm.Truncations)
+		writeMetric("esharing_wal_size_bytes", "Current decision log file size.", "gauge", wm.Size)
+		writeMetric("esharing_wal_failures_total", "Decision log writes that failed (server degraded).", "counter", s.walFailures.Load())
+		writeMetric("esharing_wal_replayed_records", "Records replayed from the log at startup.", "gauge", s.walReplayed.Load())
+		writeMetric("esharing_wal_replay_duration_seconds", "Startup recovery replay duration.", "gauge",
+			float64(s.walReplayNanos.Load())/1e9)
 	}
 
 	s.writeErrorCounters(&sb)

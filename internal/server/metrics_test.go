@@ -413,6 +413,76 @@ func TestShedLoadUnderSaturation(t *testing.T) {
 	if stats.Errors != stats.Shed {
 		t.Errorf("stats errors = %d, want %d (sheds are the only errors)", stats.Errors, stats.Shed)
 	}
+
+	// Reconciliation sweep: drive every remaining error class —
+	// including routes the mux itself rejects with 404/405, which used
+	// to bypass the instrumentation entirely — then check the books
+	// balance exactly: every error response a client saw lands in
+	// exactly one kind counter, and the kind counters sum to the
+	// aggregate error count in /v1/stats.
+	expect := func(method, path, body string, wantStatus int) {
+		t.Helper()
+		var reader io.Reader
+		if body != "" {
+			reader = strings.NewReader(body)
+		}
+		req, err := http.NewRequest(method, ts.URL+path, reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("%s %s: status %d, want %d", method, path, resp.StatusCode, wantStatus)
+		}
+	}
+	expect(http.MethodPost, "/v1/requests", `{"dest":`, http.StatusBadRequest)
+	expect(http.MethodPost, "/v1/requests", `{"dest":{"x":1e999,"y":0}}`, http.StatusBadRequest)
+	expect(http.MethodGet, "/no/such/route", "", http.StatusNotFound)
+	expect(http.MethodDelete, "/v1/stations", "", http.StatusMethodNotAllowed)
+
+	const extraErrors = 4
+	families = scrape(t, ts.URL)
+	errFam := families["esharing_request_errors_total"]
+	for _, want := range []struct {
+		endpoint, kind string
+		value          float64
+	}{
+		{"place", "shed", sent - 2},
+		{"place", "bad_request", 2},
+		{"other", "not_found", 1},
+		{"other", "method_not_allowed", 1},
+	} {
+		if got := counterValue(errFam, map[string]string{"endpoint": want.endpoint, "kind": want.kind}); got != want.value {
+			t.Errorf("errors{endpoint=%q,kind=%q} = %g, want %g", want.endpoint, want.kind, got, want.value)
+		}
+	}
+	stats, err = client.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kindSum := counterValue(errFam, nil); kindSum != float64(stats.Errors) {
+		t.Errorf("sum of kind counters = %g, stats errors = %d; the two books must agree", kindSum, stats.Errors)
+	}
+	if got := counterValue(families["esharing_request_errors_all_total"], nil); got != float64(stats.Errors) {
+		t.Errorf("errors_all_total = %g, stats errors = %d", got, stats.Errors)
+	}
+	if got := counterValue(errFam, map[string]string{"endpoint": "place", "kind": "shed"}); got != float64(stats.Shed) {
+		t.Errorf("shed kind counter = %g, stats shed = %d", got, stats.Shed)
+	}
+	// The place-path identity the admission gate promises: every request
+	// sent to POST /v1/requests is accepted, shed, canceled, or errored
+	// — no response is dropped or double-counted.
+	placeSent := int64(sent + 2) // storm plus the two bad-request probes
+	canceled := int64(counterValue(errFam, map[string]string{"endpoint": "place", "kind": "canceled"}))
+	placeErrored := int64(counterValue(errFam, map[string]string{"endpoint": "place"})) - stats.Shed - canceled
+	if got := stats.Requests + stats.Shed + canceled + placeErrored; got != placeSent {
+		t.Errorf("accepted %d + shed %d + canceled %d + errored %d = %d, want %d sent",
+			stats.Requests, stats.Shed, canceled, placeErrored, got, placeSent)
+	}
 }
 
 // TestQueuedRequestHonorsCancellation cancels a request parked in the

@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/geo"
+	"repro/internal/wal"
 )
 
 // DefaultMaxInFlight is the admission-queue capacity used when no
@@ -115,7 +116,21 @@ type Server struct {
 	// distance.
 	requests atomic.Int64
 	opened   atomic.Int64
-	walkBits atomic.Uint64
+	walkBits atomic.Uint64 // guarded by decision
+
+	// wal, when non-nil, is the durable decision log (see wal.go): set
+	// once during construction, appended to and snapshotted only under
+	// the decision lock. Lock-free paths may nil-check the pointer and
+	// read its (internally atomic) Metrics.
+	// guarded by decision
+	wal              *wal.Log
+	walDir           string
+	walSyncEvery     int
+	walSnapshotEvery uint64
+	walFailures      atomic.Int64 // append/snapshot failures (degraded)
+	walFailed        atomic.Bool  // latched by the first failure
+	walReplayNanos   atomic.Int64 // startup replay duration
+	walReplayed      atomic.Int64 // records replayed at startup
 
 	// Serving-path instrumentation, all lock-free (see metrics.go).
 	shed      atomic.Int64 // 429s from the admission gate
@@ -126,6 +141,10 @@ type Server struct {
 	snap atomic.Pointer[readSnapshot]
 
 	mux *http.ServeMux
+	// fallback serves requests no registered route matches, wrapping the
+	// mux's own 404/405 responses in instrumentation so every
+	// client-visible error lands in the counters (see ServeHTTP).
+	fallback http.HandlerFunc
 }
 
 var _ http.Handler = (*Server)(nil)
@@ -161,17 +180,34 @@ func New(placer core.OnlinePlacer, opts ...Option) (*Server, error) {
 	}
 	s.queue = make(chan struct{}, s.maxInFlight)
 	s.shedMsg = fmt.Sprintf("placement queue full (%d in flight)", s.maxInFlight)
+	if s.walDir != "" {
+		// Recover before the first snapshot publication so the read
+		// endpoints never expose pre-recovery state.
+		if err := s.openWAL(); err != nil {
+			return nil, err
+		}
+	}
 	s.publishSnapshot()
 	s.mux.HandleFunc("POST /v1/requests", s.instrument(epPlace, s.handlePlace))
 	s.mux.HandleFunc("GET /v1/stations", s.instrument(epStations, s.handleStations))
 	s.mux.HandleFunc("GET /v1/stats", s.instrument(epStats, s.handleStats))
 	s.mux.HandleFunc("GET /healthz", s.instrument(epHealth, s.handleHealth))
 	s.mux.HandleFunc("GET /metrics", s.instrument(epMetrics, s.handleMetrics))
+	s.fallback = s.instrument(epOther, s.mux.ServeHTTP)
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Matched routes carry their own
+// instrumentation; unmatched requests — where the mux would answer
+// 404/405 itself — are routed through the epOther fallback so those
+// errors still reconcile with the counters. ServeMux.Handler returns an
+// empty pattern exactly when no route matches (for both the
+// not-found and the method-mismatch responses).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if _, pattern := s.mux.Handler(r); pattern == "" {
+		s.fallback(w, r)
+		return
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -261,6 +297,9 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		walk := math.Float64frombits(s.walkBits.Load()) + decision.Walk
 		s.walkBits.Store(math.Float64bits(walk))
 		s.refreshAfterPlace(decision.Opened)
+		// The decision is durable (modulo -wal-sync batching) before
+		// the lock is released and the response committed.
+		s.logDecision(req.Dest, decision)
 	}
 	<-s.decision
 
@@ -319,6 +358,16 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.walFailed.Load() {
+		// A WAL append or snapshot failed: decisions since then are
+		// not durable, so the instance must be drained and replaced
+		// even though it still serves correctly from memory.
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "degraded",
+			"reason": "decision log write failed; recent decisions are not durable",
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 

@@ -1,0 +1,209 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/wal"
+)
+
+// Durability wiring: when built with WithWAL, every accepted placement
+// is appended to a write-ahead log under the decision lock before the
+// response is released, and construction replays any existing log —
+// through the placer itself, bypassing HTTP — to recover the exact
+// pre-crash state. Recovery is verified, not assumed: every replayed
+// record must reproduce the logged decision bit for bit, the restored
+// snapshot must reproduce the logged station digest and similarity
+// figure, and any mismatch refuses startup rather than serve from a
+// silently diverged engine.
+
+// WithWAL attaches a durable decision log rooted at dir. syncEvery
+// batches fsyncs (1 = sync every decision, 0 = let the OS decide);
+// snapshotEvery checkpoints and truncates the log after that many
+// records (0 disables the cadence). The placer must implement
+// core.DurablePlacer.
+func WithWAL(dir string, syncEvery int, snapshotEvery uint64) Option {
+	return func(s *Server) {
+		s.walDir = dir
+		s.walSyncEvery = syncEvery
+		s.walSnapshotEvery = snapshotEvery
+	}
+}
+
+// openWAL opens (or creates) the decision log and replays whatever it
+// finds into the freshly built placer. Called from New before the
+// server starts serving; it still takes the decision lock for real, so
+// the lock discipline holds even if construction ever overlaps
+// serving.
+func (s *Server) openWAL() error {
+	dp, ok := s.placer.(core.DurablePlacer)
+	if !ok {
+		return fmt.Errorf("server: placer %q does not support durable logging", s.name)
+	}
+	log, rec, err := wal.Open(s.walDir, wal.Options{
+		ConfigDigest:  dp.ConfigDigest(),
+		Name:          s.name,
+		SyncEvery:     s.walSyncEvery,
+		SnapshotEvery: s.walSnapshotEvery,
+	})
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	s.decision <- struct{}{}
+	err = s.replayRecovered(dp, rec)
+	<-s.decision
+	if err != nil {
+		log.Close()
+		return err
+	}
+	s.walReplayNanos.Store(time.Since(start).Nanoseconds())
+	s.walReplayed.Store(int64(len(rec.Tail)))
+	s.wal = log
+	return nil
+}
+
+// replayRecovered restores the snapshot and re-drives the log tail
+// through the placer, verifying bit-identical reproduction of every
+// recorded decision; caller holds decision.
+func (s *Server) replayRecovered(dp core.DurablePlacer, rec *wal.Recovered) error {
+	if snap := rec.Snapshot; snap != nil {
+		if err := dp.UnmarshalState(snap.PlacerState); err != nil {
+			return fmt.Errorf("server: restore wal snapshot: %w", err)
+		}
+		if got := core.StationDigest(dp.Stations()); got != snap.StationsDigest {
+			return fmt.Errorf("server: restored station set digest %#x, snapshot recorded %#x", got, snap.StationsDigest)
+		}
+		if es, ok := s.placer.(*core.ESharing); ok {
+			if got := math.Float64bits(es.LastSimilarity()); got != snap.SimBits {
+				return fmt.Errorf("server: restored similarity %v, snapshot recorded %v",
+					math.Float64frombits(got), math.Float64frombits(snap.SimBits))
+			}
+		}
+		s.requests.Store(int64(snap.Requests))
+		s.opened.Store(int64(snap.Opened))
+		s.walkBits.Store(snap.WalkBits)
+	}
+	for i, r := range rec.Tail {
+		switch r := r.(type) {
+		case wal.DecisionRecord:
+			d, err := dp.Place(r.Dest)
+			if err != nil {
+				return fmt.Errorf("server: wal replay record %d: %w", i, err)
+			}
+			if !decisionMatchesRecord(d, r) {
+				return fmt.Errorf("server: wal replay diverged at record %d: "+
+					"placer produced %+v, log recorded %+v — the engine or its inputs changed since the log was written", i, d, r)
+			}
+			s.requests.Add(1)
+			if d.Opened {
+				s.opened.Add(1)
+			}
+			walk := math.Float64frombits(s.walkBits.Load()) + d.Walk
+			s.walkBits.Store(math.Float64bits(walk))
+		case wal.PickupRecord:
+			rm, ok := s.placer.(core.StationRemover)
+			if !ok {
+				return fmt.Errorf("server: wal replay record %d: placer %q cannot replay pickups", i, s.name)
+			}
+			if err := rm.RemoveStation(r.StationIndex); err != nil {
+				return fmt.Errorf("server: wal replay record %d: %w", i, err)
+			}
+		default:
+			return fmt.Errorf("server: wal replay record %d: unknown record type %T", i, r)
+		}
+	}
+	return nil
+}
+
+// decisionMatchesRecord demands bit-for-bit reproduction: coordinates
+// and the walk figure compare as float bit patterns, so even a sign-of
+// -zero difference counts as divergence.
+func decisionMatchesRecord(d core.Decision, r wal.DecisionRecord) bool {
+	return d.StationIndex == r.StationIndex &&
+		d.Opened == r.Opened &&
+		math.Float64bits(d.Walk) == math.Float64bits(r.Walk) &&
+		math.Float64bits(d.Station.X) == math.Float64bits(r.Station.X) &&
+		math.Float64bits(d.Station.Y) == math.Float64bits(r.Station.Y)
+}
+
+// logDecision appends an accepted placement to the WAL and runs the
+// snapshot cadence; caller holds decision. An append or snapshot
+// failure does not fail the request — the decision is already applied
+// and acknowledged state must match the placer — but it flips the
+// server into degraded health (the log is no longer ahead of the
+// state) and counts on esharing_wal_failures_total.
+func (s *Server) logDecision(dest geo.Point, d core.Decision) {
+	if s.wal == nil {
+		return
+	}
+	err := s.wal.AppendDecision(wal.DecisionRecord{
+		Dest:         dest,
+		Station:      d.Station,
+		StationIndex: d.StationIndex,
+		Opened:       d.Opened,
+		Walk:         d.Walk,
+	})
+	if err == nil && s.wal.SnapshotDue() {
+		err = s.writeWALSnapshot()
+	}
+	if err != nil {
+		s.walFailures.Add(1)
+		s.walFailed.Store(true)
+	}
+}
+
+// writeWALSnapshot checkpoints the placer and serving counters and
+// truncates the log; caller holds decision.
+func (s *Server) writeWALSnapshot() error {
+	dp, ok := s.placer.(core.DurablePlacer)
+	if !ok {
+		return fmt.Errorf("server: placer %q does not support durable logging", s.name)
+	}
+	state, err := dp.MarshalState()
+	if err != nil {
+		return fmt.Errorf("server: snapshot placer state: %w", err)
+	}
+	snap := &wal.Snapshot{
+		PlacerState:    state,
+		Requests:       uint64(s.requests.Load()),
+		Opened:         uint64(s.opened.Load()),
+		WalkBits:       s.walkBits.Load(),
+		StationsDigest: core.StationDigest(dp.Stations()),
+	}
+	if es, ok := s.placer.(*core.ESharing); ok {
+		snap.SimBits = math.Float64bits(es.LastSimilarity())
+	}
+	return s.wal.WriteSnapshot(snap)
+}
+
+// WALRecords reports how many records the decision log holds past its
+// snapshot base — appended this run or recovered at startup — or 0
+// when the server runs without durability. Intended for startup
+// logging; it briefly takes the decision lock.
+func (s *Server) WALRecords() uint64 {
+	s.decision <- struct{}{}
+	defer func() { <-s.decision }()
+	if s.wal == nil {
+		return 0
+	}
+	return s.wal.Records()
+}
+
+// Close flushes and closes the decision log (a no-op without one). The
+// decision lock is held across the close so no placement can race the
+// final sync.
+func (s *Server) Close() error {
+	s.decision <- struct{}{}
+	defer func() { <-s.decision }()
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.Close()
+	s.wal = nil
+	return err
+}
