@@ -13,6 +13,7 @@
 //	esharing-server [-addr :8080] [-algorithm e-sharing|meyerson|online-kmeans]
 //	                [-opening 10000] [-seed 1] [-trips-csv history.csv]
 //	                [-max-inflight 256] [-pprof-addr :6060]
+//	                [-shards 4] [-shard-precision 4]
 //	                [-read-timeout 10s] [-write-timeout 30s] [-idle-timeout 2m]
 //	                [-wal-dir /var/lib/esharing] [-wal-sync 1] [-wal-snapshot-every 4096]
 package main
@@ -53,7 +54,9 @@ func run(args []string) error {
 	tripsCSV := fs.String("trips-csv", "", "optional Mobike-schema CSV with historical trips; synthetic history is generated when empty")
 	historyDays := fs.Int("history-days", 7, "days of synthetic history when no CSV is given")
 	fleetSize := fs.Int("fleet", 0, "register this many bikes at the planned stations and enable the tier-2 endpoints")
-	maxInflight := fs.Int("max-inflight", server.DefaultMaxInFlight, "placement requests allowed to hold or queue for the decision lock; beyond this the server sheds with 429 + Retry-After")
+	maxInflight := fs.Int("max-inflight", server.DefaultMaxInFlight, "placement requests allowed to hold or queue for the decision locks (divided across shards); beyond this the server sheds with 429 + Retry-After")
+	shards := fs.Int("shards", 1, "independent geo-sharded decision loops; requests route by the planar cell of their destination")
+	shardPrecision := fs.Int("shard-precision", geo.DefaultShardPrecision, "planar cell precision for shard routing (1-12): 4 is ~one cell per city, 6-7 shards within a city")
 	pprofAddr := fs.String("pprof-addr", "", "optional address to serve net/http/pprof on (disabled when empty)")
 	readTimeout := fs.Duration("read-timeout", 10*time.Second, "http.Server ReadTimeout")
 	writeTimeout := fs.Duration("write-timeout", 30*time.Second, "http.Server WriteTimeout")
@@ -71,29 +74,37 @@ func run(args []string) error {
 	}
 	log.Printf("loaded %d historical trips", len(history))
 
-	placer, err := buildPlacer(*algorithm, history, *opening, *seed)
+	placers, err := buildPlacers(*algorithm, history, *opening, *seed, *shards, *shardPrecision)
 	if err != nil {
 		return err
 	}
-	log.Printf("algorithm %s ready with %d initial stations", placer.Name(), len(placer.Stations()))
+	stations := 0
+	for _, p := range placers {
+		stations += len(p.Stations())
+	}
+	log.Printf("algorithm %s ready with %d initial stations across %d shard(s)",
+		placers[0].Name(), stations, len(placers))
 
-	opts := []server.Option{server.WithMaxInFlight(*maxInflight)}
+	opts := []server.Option{
+		server.WithMaxInFlight(*maxInflight),
+		server.WithShardPrecision(*shardPrecision),
+	}
 	if *walDir != "" {
 		opts = append(opts, server.WithWAL(*walDir, *walSync, *walSnapshotEvery))
 	}
 	var handler *server.Server
 	if *fleetSize > 0 {
-		fleet, err := buildFleet(placer, *fleetSize, *seed)
+		fleet, err := buildFleet(allStations(placers), *fleetSize, *seed)
 		if err != nil {
 			return fmt.Errorf("build fleet: %w", err)
 		}
-		handler, err = server.NewWithFleet(placer, fleet, opts...)
+		handler, err = server.NewShardedWithFleet(placers, fleet, opts...)
 		if err != nil {
 			return err
 		}
 		log.Printf("fleet of %d bikes registered; tier-2 endpoints enabled", *fleetSize)
 	} else {
-		handler, err = server.New(placer, opts...)
+		handler, err = server.NewSharded(placers, opts...)
 		if err != nil {
 			return err
 		}
@@ -192,6 +203,52 @@ func loadHistory(csvPath string, days int, seed uint64) ([]dataset.Trip, error) 
 	return dataset.Generate(dataset.Config{Days: days, Seed: seed})
 }
 
+// buildPlacers builds one placer per shard. The historical trips are
+// partitioned the same way live requests will route — by the planar
+// cell of their destination — so each shard's offline landmarks are
+// planned from exactly the demand it will serve. A shard whose
+// partition came up empty plans from the full history instead (its
+// engine must still be valid; it simply starts with out-of-region
+// landmarks it will never be asked about). Seeds are staggered by
+// shard index so the shards' online RNG streams are independent.
+func buildPlacers(algorithm string, history []dataset.Trip, opening float64, seed uint64, shards, precision int) ([]core.OnlinePlacer, error) {
+	if shards <= 1 {
+		p, err := buildPlacer(algorithm, history, opening, seed)
+		if err != nil {
+			return nil, err
+		}
+		return []core.OnlinePlacer{p}, nil
+	}
+	parts := make([][]dataset.Trip, shards)
+	for _, trip := range history {
+		i := geo.ShardOf(trip.End, precision, shards)
+		parts[i] = append(parts[i], trip)
+	}
+	placers := make([]core.OnlinePlacer, shards)
+	for i := range placers {
+		part := parts[i]
+		if len(part) == 0 {
+			part = history
+		}
+		p, err := buildPlacer(algorithm, part, opening, seed+uint64(i))
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		placers[i] = p
+	}
+	return placers, nil
+}
+
+// allStations concatenates the shards' initial stations in shard-index
+// order (the same order /v1/stations serves them).
+func allStations(placers []core.OnlinePlacer) []geo.Point {
+	var out []geo.Point
+	for _, p := range placers {
+		out = append(out, p.Stations()...)
+	}
+	return out
+}
+
 func buildPlacer(algorithm string, history []dataset.Trip, opening float64, seed uint64) (core.OnlinePlacer, error) {
 	dests := dataset.EndPoints(history)
 	switch algorithm {
@@ -212,10 +269,9 @@ func buildPlacer(algorithm string, history []dataset.Trip, opening float64, seed
 	}
 }
 
-// buildFleet scatters bikes across the placer's stations with the
+// buildFleet scatters bikes across the given stations with the
 // Fig. 2(d) low-battery tail.
-func buildFleet(placer core.OnlinePlacer, size int, seed uint64) (*energy.Fleet, error) {
-	stations := placer.Stations()
+func buildFleet(stations []geo.Point, size int, seed uint64) (*energy.Fleet, error) {
 	if len(stations) == 0 {
 		return nil, fmt.Errorf("no stations to park bikes at")
 	}

@@ -217,7 +217,7 @@ func TestBuildFleet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fleet, err := buildFleet(placer, 40, 1)
+	fleet, err := buildFleet(placer.Stations(), 40, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,11 +228,87 @@ func TestBuildFleet(t *testing.T) {
 		t.Error("fleet should have a low-battery tail")
 	}
 	// No stations -> error.
-	empty, err := buildPlacer("meyerson", history, 10000, 1)
+	if _, err := buildFleet(nil, 5, 1); err == nil {
+		t.Error("fleet without stations should error")
+	}
+}
+
+// TestBuildPlacersSharded covers the shard partitioning of the offline
+// plan: one placer per shard, history split by destination cell, the
+// single-shard passthrough, and the empty-partition fallback (synthetic
+// city-scale history fits inside one precision-4 cell, so most shards
+// plan from the full history).
+func TestBuildPlacersSharded(t *testing.T) {
+	history := testHistory(t)
+
+	one, err := buildPlacers("e-sharing", history, 10000, 1, 1, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := buildFleet(empty, 5, 1); err == nil {
-		t.Error("fleet without stations should error")
+	if len(one) != 1 {
+		t.Fatalf("1-shard build returned %d placers", len(one))
+	}
+
+	// Precision 4 (~49 km cells): the whole synthetic city shares a cell,
+	// so at least one partition is empty and must fall back to the full
+	// history — every shard still gets a valid placer with landmarks.
+	coarse, err := buildPlacers("e-sharing", history, 10000, 1, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coarse) != 4 {
+		t.Fatalf("4-shard build returned %d placers", len(coarse))
+	}
+	for i, p := range coarse {
+		if p.Name() != coarse[0].Name() {
+			t.Errorf("shard %d runs %q, shard 0 runs %q", i, p.Name(), coarse[0].Name())
+		}
+		if len(p.Stations()) == 0 {
+			t.Errorf("shard %d planned no landmarks", i)
+		}
+	}
+
+	// Precision 12 splits the city across cells: every trip must land in
+	// exactly one shard's partition, mirroring geo.ShardOf.
+	fine, err := buildPlacers("meyerson", history, 10000, 1, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fine) != 2 {
+		t.Fatalf("2-shard build returned %d placers", len(fine))
+	}
+	var want [2]int
+	for _, trip := range history {
+		want[geo.ShardOf(trip.End, 12, 2)]++
+	}
+	if want[0] == 0 || want[1] == 0 {
+		t.Fatalf("precision-12 partition degenerate: %v", want)
+	}
+
+	if _, err := buildPlacers("nope", history, 10000, 1, 3, 4); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+}
+
+// TestAllStations: the startup station union concatenates in shard
+// order, matching the order /v1/stations serves.
+func TestAllStations(t *testing.T) {
+	history := testHistory(t)
+	placers, err := buildPlacers("e-sharing", history, 10000, 1, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := allStations(placers)
+	idx := 0
+	for s, p := range placers {
+		for _, st := range p.Stations() {
+			if all[idx] != st {
+				t.Fatalf("allStations[%d] = %v, want shard %d station %v", idx, all[idx], s, st)
+			}
+			idx++
+		}
+	}
+	if idx != len(all) {
+		t.Fatalf("allStations has %d points, placers have %d", len(all), idx)
 	}
 }

@@ -11,8 +11,8 @@ import (
 )
 
 // Tier-2 endpoints: when the server is built with a fleet
-// (NewWithFleet), it additionally exposes bike registration, rides and
-// charging rounds.
+// (NewWithFleet / NewShardedWithFleet), it additionally exposes bike
+// registration, rides and charging rounds.
 //
 //	GET  /v1/bikes           -> fleet snapshot
 //	POST /v1/bikes           -> register a bike
@@ -38,25 +38,40 @@ type RideRequest struct {
 	Dest   geo.Point `json:"dest"`
 }
 
-// ChargingRequest is the body of POST /v1/charging-round.
+// ChargingRequest is the body of POST /v1/charging-round. Seed is a
+// pointer so "no seed given" (use the default cadence seed) and an
+// explicit seed 0 are distinguishable — with a plain uint64, a client
+// asking for seed 0 silently got the default.
 type ChargingRequest struct {
 	Alpha float64 `json:"alpha"`
-	Seed  uint64  `json:"seed"`
+	Seed  *uint64 `json:"seed,omitempty"`
 }
 
-// NewWithFleet builds a Server that also manages a fleet for tier-2
-// operations.
+// NewWithFleet builds a single-shard Server that also manages a fleet
+// for tier-2 operations.
 func NewWithFleet(placer core.OnlinePlacer, fleet *energy.Fleet, opts ...Option) (*Server, error) {
+	if placer == nil {
+		return nil, errors.New("server: nil placer")
+	}
+	return NewShardedWithFleet([]core.OnlinePlacer{placer}, fleet, opts...)
+}
+
+// NewShardedWithFleet builds a geo-sharded Server (see NewSharded) that
+// also manages a fleet for tier-2 operations. The fleet is global — one
+// lock, independent of every decision loop — since bikes move between
+// regions.
+func NewShardedWithFleet(placers []core.OnlinePlacer, fleet *energy.Fleet, opts ...Option) (*Server, error) {
 	if fleet == nil {
 		return nil, errors.New("server: nil fleet")
 	}
-	s, err := New(placer, opts...)
+	s, err := NewSharded(placers, opts...)
 	if err != nil {
 		return nil, err
 	}
 	// Construction-time write: no handler can observe s until
-	// NewWithFleet returns, so the lock is not needed yet.
+	// NewShardedWithFleet returns, so the lock is not needed yet.
 	s.fleet = fleet //esharing:allow guardedby
+	s.getBike = fleet.Get
 	s.mux.HandleFunc("GET /v1/bikes", s.instrument(epBikes, s.handleBikes))
 	s.mux.HandleFunc("POST /v1/bikes", s.instrument(epAddBike, s.handleAddBike))
 	s.mux.HandleFunc("POST /v1/rides", s.instrument(epRide, s.handleRide))
@@ -99,8 +114,10 @@ func (s *Server) handleRide(w http.ResponseWriter, r *http.Request) {
 	s.fleetMu.Lock()
 	err := s.fleet.Ride(req.BikeID, req.Dest)
 	var view BikeView
+	var gerr error
 	if err == nil {
-		if b, gerr := s.fleet.Get(req.BikeID); gerr == nil {
+		var b energy.Bike
+		if b, gerr = s.getBike(req.BikeID); gerr == nil {
 			view = BikeView{ID: b.ID, Loc: b.Loc, Level: b.Level}
 		}
 	}
@@ -113,6 +130,14 @@ func (s *Server) handleRide(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, status, errorBody{Error: err.Error()})
 		return
 	}
+	if gerr != nil {
+		// The ride was applied but its result could not be read back. A
+		// 200 body must reflect real post-ride state, never a
+		// zero-valued placeholder, so this is a server error.
+		writeJSON(w, http.StatusInternalServerError,
+			errorBody{Error: "ride applied but bike state unavailable: " + gerr.Error()})
+		return
+	}
 	writeJSON(w, http.StatusOK, view)
 }
 
@@ -122,13 +147,13 @@ func (s *Server) handleChargingRound(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// The charging round needs the established stations (read from the
-	// published snapshot — never the decision lock) and exclusive access
-	// to the fleet it relocates. The snapshot slice is shared with other
-	// readers, so hand the simulator its own copy.
-	stations := append([]geo.Point(nil), s.snap.Load().stations...)
+	// merged view — never a decision lock) and exclusive access to the
+	// fleet it relocates. The view's slice is shared with other readers,
+	// so hand the simulator its own copy.
+	stations := append([]geo.Point(nil), s.view().stations...)
 	cfg := sim.DefaultChargingConfig(req.Alpha)
-	if req.Seed != 0 {
-		cfg.Seed = req.Seed
+	if req.Seed != nil {
+		cfg.Seed = *req.Seed
 	}
 	s.fleetMu.Lock()
 	report, err := sim.RunChargingRound(stations, s.fleet, cfg)

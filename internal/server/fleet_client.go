@@ -29,8 +29,9 @@ func (c *Client) Ride(ctx context.Context, bikeID int64, dest geo.Point) (BikeVi
 }
 
 // ChargingRound triggers a tier-2 service round at the given incentive
-// level.
-func (c *Client) ChargingRound(ctx context.Context, alpha float64, seed uint64) (*sim.ChargingReport, error) {
+// level. A nil seed leaves the server's default cadence seed in place;
+// any non-nil seed — including 0 — is used verbatim.
+func (c *Client) ChargingRound(ctx context.Context, alpha float64, seed *uint64) (*sim.ChargingReport, error) {
 	var out sim.ChargingReport
 	if err := c.do(ctx, http.MethodPost, "/v1/charging-round", ChargingRequest{Alpha: alpha, Seed: seed}, &out); err != nil {
 		return nil, err

@@ -2,6 +2,8 @@ package server
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -99,7 +101,8 @@ func TestFleetEndpointsLifecycle(t *testing.T) {
 		t.Error("over-range ride should error")
 	}
 
-	report, err := client.ChargingRound(ctx, 0.4, 3)
+	seed := uint64(3)
+	report, err := client.ChargingRound(ctx, 0.4, &seed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,5 +169,104 @@ func TestFleetBadBodies(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("%s with %q: status=%d", tc.path, tc.body, resp.StatusCode)
 		}
+	}
+}
+
+// TestRideStateReadFailureIs500 pins handleRide's contract: when the
+// ride applies but the post-ride bike state cannot be read back, the
+// response is a 500 — never a 200 carrying a zero-valued BikeView that
+// clients would mistake for a bike at the origin with an empty battery.
+// The failure is injected through the getBike seam because with the
+// real fleet a lookup after a successful ride cannot fail.
+func TestRideStateReadFailureIs500(t *testing.T) {
+	placer, err := core.NewMeyerson(5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := placer.Place(geo.Pt(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := energy.NewFleet(energy.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fleet.Add(energy.Bike{ID: 7, Loc: geo.Pt(0, 0), Level: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewWithFleet(placer, fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy path first: the 200 body reflects real post-ride state.
+	code, body := do(t, srv, http.MethodPost, "/v1/rides", `{"bikeId":7,"dest":{"x":100,"y":0}}`)
+	if code != http.StatusOK {
+		t.Fatalf("ride: %d %s", code, body)
+	}
+	var view BikeView
+	if err := json.Unmarshal([]byte(body), &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.ID != 7 || view.Loc != geo.Pt(100, 0) || view.Level >= 0.9 || view.Level <= 0 {
+		t.Fatalf("ride view %+v does not reflect the applied ride", view)
+	}
+
+	srv.getBike = func(int64) (energy.Bike, error) {
+		return energy.Bike{}, errors.New("bike store read failed")
+	}
+	code, body = do(t, srv, http.MethodPost, "/v1/rides", `{"bikeId":7,"dest":{"x":200,"y":0}}`)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("unreadable post-ride state got %d %s, want 500", code, body)
+	}
+	if !strings.Contains(body, "bike state unavailable") {
+		t.Errorf("500 body %q does not explain the failure", body)
+	}
+	// The ride itself was applied before the read-back failed.
+	b, err := fleet.Get(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Loc != geo.Pt(200, 0) {
+		t.Errorf("bike at %v, want the applied destination (200,0)", b.Loc)
+	}
+}
+
+// TestChargingSeedOptionalVsExplicitZero pins the ChargingRequest wire
+// contract: an absent seed keeps the simulator's default, while an
+// explicit "seed":0 — previously swallowed as "unset" by the plain
+// uint64 field — is honoured as seed zero. Both forms must serve.
+func TestChargingSeedOptionalVsExplicitZero(t *testing.T) {
+	var absent ChargingRequest
+	if err := json.Unmarshal([]byte(`{"alpha":1}`), &absent); err != nil {
+		t.Fatal(err)
+	}
+	if absent.Seed != nil {
+		t.Errorf("absent seed decoded as %v, want nil", *absent.Seed)
+	}
+	var explicit ChargingRequest
+	if err := json.Unmarshal([]byte(`{"alpha":1,"seed":0}`), &explicit); err != nil {
+		t.Fatal(err)
+	}
+	if explicit.Seed == nil || *explicit.Seed != 0 {
+		t.Errorf("explicit zero seed decoded as %v, want *0", explicit.Seed)
+	}
+
+	_, client := newFleetServer(t)
+	ctx := context.Background()
+	for i := int64(1); i <= 4; i++ {
+		if err := client.AddBike(ctx, i, geo.Pt(0, 0), 0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := client.ChargingRound(ctx, 0.4, nil); err != nil {
+		t.Fatalf("charging round without a seed: %v", err)
+	}
+	zero := uint64(0)
+	report, err := client.ChargingRound(ctx, 0.4, &zero)
+	if err != nil {
+		t.Fatalf("charging round with explicit seed 0: %v", err)
+	}
+	if report == nil {
+		t.Fatal("nil report")
 	}
 }

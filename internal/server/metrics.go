@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/wal"
 )
 
 // Per-endpoint request instrumentation. Every observation path is
@@ -222,10 +224,26 @@ func (s *Server) instrument(ep int, h http.HandlerFunc) http.HandlerFunc {
 // placement decision stream; only the tier-2 fleet gauges briefly take
 // the fleet's own lock.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	requests := s.requests.Load()
-	opened := s.opened.Load()
-	walk := math.Float64frombits(s.walkBits.Load())
-	stations := len(s.snap.Load().stations)
+	v := s.view()
+	var requests, opened, shed int64
+	var walk float64
+	var queueDepth, queueLimit int
+	hasWAL := false
+	for _, sh := range s.shards {
+		requests += sh.requests.Load()
+		opened += sh.opened.Load()
+		walk += math.Float64frombits(sh.walkBits.Load())
+		shed += sh.shed.Load()
+		queueDepth += len(sh.queue)
+		queueLimit += sh.maxInFlight
+		// The wal pointers are written once during construction and
+		// never reassigned while serving; their Metrics() reads are
+		// atomic.
+		if sh.wal != nil { //esharing:allow guardedby -- set-once pointer, nil-check only
+			hasWAL = true
+		}
+	}
+	stations := len(v.stations)
 	var fleetSize, fleetLow int
 	hasFleet := s.fleet != nil
 	if hasFleet {
@@ -244,27 +262,68 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeMetric("esharing_stations_opened_total", "Stations opened online.", "counter", opened)
 	writeMetric("esharing_walk_meters_total", "Cumulative rider walking distance.", "counter", walk)
 	writeMetric("esharing_stations", "Currently established stations.", "gauge", stations)
-	writeMetric("esharing_requests_shed_total", "Placement requests shed with 429 because the admission queue was full.", "counter", s.shed.Load())
+	writeMetric("esharing_requests_shed_total", "Placement requests shed with 429 because the admission queue was full.", "counter", shed)
 	writeMetric("esharing_request_errors_all_total", "Error responses across all endpoints.", "counter", s.errors.Load())
 	writeMetric("esharing_inflight_requests", "HTTP requests currently being served.", "gauge", s.inflight.Load())
-	writeMetric("esharing_place_queue_depth", "Placement requests admitted and queued on the decision lock.", "gauge", len(s.queue))
-	writeMetric("esharing_place_queue_limit", "Admission queue capacity (-max-inflight).", "gauge", s.maxInFlight)
+	writeMetric("esharing_place_queue_depth", "Placement requests admitted and queued on the decision locks.", "gauge", queueDepth)
+	writeMetric("esharing_place_queue_limit", "Admission queue capacity (-max-inflight, summed over shards).", "gauge", queueLimit)
+	writeMetric("esharing_shards", "Independent geo-sharded decision loops.", "gauge", len(s.shards))
 	if hasFleet {
 		writeMetric("esharing_fleet_bikes", "Registered bikes.", "gauge", fleetSize)
 		writeMetric("esharing_fleet_low_bikes", "Bikes below the charging threshold.", "gauge", fleetLow)
 	}
-	// The wal pointer is written once during construction and never
-	// reassigned while serving; its Metrics() reads are atomic.
-	if s.wal != nil { //esharing:allow guardedby -- set-once pointer, internally atomic counters
-		wm := s.wal.Metrics() //esharing:allow guardedby -- same
+	if hasWAL {
+		var wm wal.Metrics
+		var walFailures, walReplayed, walReplayNanos int64
+		for _, sh := range s.shards {
+			if sh.wal == nil { //esharing:allow guardedby -- set-once pointer, internally atomic counters
+				continue
+			}
+			m := sh.wal.Metrics() //esharing:allow guardedby -- same
+			wm.Appended += m.Appended
+			wm.Fsyncs += m.Fsyncs
+			wm.Truncations += m.Truncations
+			wm.Size += m.Size
+			walFailures += sh.walFailures.Load()
+			walReplayed += sh.walReplayed.Load()
+			walReplayNanos += sh.walReplayNanos.Load()
+		}
 		writeMetric("esharing_wal_appended_records_total", "Decision log records appended.", "counter", wm.Appended)
 		writeMetric("esharing_wal_fsyncs_total", "Explicit fsyncs issued by the decision log.", "counter", wm.Fsyncs)
 		writeMetric("esharing_wal_truncations_total", "Snapshot-and-truncate cycles completed.", "counter", wm.Truncations)
 		writeMetric("esharing_wal_size_bytes", "Current decision log file size.", "gauge", wm.Size)
-		writeMetric("esharing_wal_failures_total", "Decision log writes that failed (server degraded).", "counter", s.walFailures.Load())
-		writeMetric("esharing_wal_replayed_records", "Records replayed from the log at startup.", "gauge", s.walReplayed.Load())
+		writeMetric("esharing_wal_failures_total", "Decision log writes that failed (server degraded).", "counter", walFailures)
+		writeMetric("esharing_wal_replayed_records", "Records replayed from the log at startup.", "gauge", walReplayed)
 		writeMetric("esharing_wal_replay_duration_seconds", "Startup recovery replay duration.", "gauge",
-			float64(s.walReplayNanos.Load())/1e9)
+			float64(walReplayNanos)/1e9)
+	}
+
+	if len(s.shards) > 1 {
+		// Per-shard series carry a shard label and exist only on
+		// multi-shard servers, so single-shard scrapes stay
+		// byte-compatible with the unsharded exposition.
+		writeShardMetric := func(name, help, typ string, value func(sh *shard, part *readSnapshot) any) {
+			fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+			for i, sh := range s.shards {
+				fmt.Fprintf(&sb, "%s{shard=\"%d\"} %v\n", name, i, value(sh, v.parts[i]))
+			}
+		}
+		writeShardMetric("esharing_shard_requests_total", "Trip requests served, by shard.", "counter",
+			func(sh *shard, _ *readSnapshot) any { return sh.requests.Load() })
+		writeShardMetric("esharing_shard_stations_opened_total", "Stations opened online, by shard.", "counter",
+			func(sh *shard, _ *readSnapshot) any { return sh.opened.Load() })
+		writeShardMetric("esharing_shard_walk_meters_total", "Cumulative rider walking distance, by shard.", "counter",
+			func(sh *shard, _ *readSnapshot) any { return math.Float64frombits(sh.walkBits.Load()) })
+		writeShardMetric("esharing_shard_stations", "Currently established stations, by shard.", "gauge",
+			func(_ *shard, part *readSnapshot) any { return len(part.stations) })
+		writeShardMetric("esharing_shard_requests_shed_total", "Placement requests shed with 429, by shard.", "counter",
+			func(sh *shard, _ *readSnapshot) any { return sh.shed.Load() })
+		writeShardMetric("esharing_shard_place_queue_depth", "Placement requests admitted and queued, by shard.", "gauge",
+			func(sh *shard, _ *readSnapshot) any { return len(sh.queue) })
+		if hasWAL {
+			writeShardMetric("esharing_shard_wal_failures_total", "Decision log writes that failed, by shard.", "counter",
+				func(sh *shard, _ *readSnapshot) any { return sh.walFailures.Load() })
+		}
 	}
 
 	s.writeErrorCounters(&sb)

@@ -1,15 +1,20 @@
 // Package server exposes the E-Sharing backend over HTTP/JSON: trip
 // requests stream in, parking decisions stream back (the paper's system
 // architecture, Fig. 3, steps ②–④). Placement decisions are
-// order-dependent, so POST /v1/requests serialises access to the
-// underlying online placer behind a bounded admission gate: up to
-// MaxInFlight requests may hold or queue for the decision lock, and
-// anything beyond that is shed immediately with 429 + Retry-After so
-// goroutines never pile up unboundedly. Queued requests honour context
-// cancellation. The read endpoints (/v1/stations, /v1/stats, /healthz,
-// /metrics) are lock-free, served from atomic counters and a station
-// snapshot republished whenever a decision changes it, so monitoring
-// scrapes and dashboard polls never block the decision stream.
+// order-dependent only within a city region, so the server is
+// geo-sharded: each shard owns an independent placer behind its own
+// bounded admission gate and decision channel-lock, and
+// POST /v1/requests routes to the shard owning the destination's planar
+// cell (geo.ShardOf). Up to MaxInFlight requests (divided across
+// shards) may hold or queue for a decision lock, and anything beyond
+// that is shed immediately with 429 + Retry-After so goroutines never
+// pile up unboundedly. Queued requests honour context cancellation.
+// The read endpoints (/v1/stations, /v1/stats, /healthz, /metrics) are
+// lock-free, served from per-shard atomic counters and immutable
+// per-shard station snapshots merged deterministically in shard-index
+// order, so monitoring scrapes and dashboard polls never block any
+// decision stream. A single-shard server (New) behaves exactly like
+// the historical unsharded one.
 package server
 
 import (
@@ -18,13 +23,13 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/geo"
-	"repro/internal/wal"
 )
 
 // DefaultMaxInFlight is the admission-queue capacity used when no
@@ -52,16 +57,34 @@ type StationsResponse struct {
 	Stations []geo.Point `json:"stations"`
 }
 
-// StatsResponse is the body of GET /v1/stats.
+// ShardStats is one shard's slice of StatsResponse.
+type ShardStats struct {
+	Shard          int      `json:"shard"`
+	Requests       int64    `json:"requests"`
+	Opened         int64    `json:"opened"`
+	WalkTotal      float64  `json:"walkTotalMeters"`
+	Stations       int      `json:"stations"`
+	Shed           int64    `json:"shed"`
+	LastSimilarity *float64 `json:"lastSimilarityPct,omitempty"`
+}
+
+// StatsResponse is the body of GET /v1/stats. LastSimilarity is a
+// pointer so that a placer without a similarity figure omits the field
+// while a legitimate 0% similarity serialises as an explicit zero —
+// with a plain omitempty float the two were indistinguishable. Shards
+// is present only on multi-shard servers; the top-level counters are
+// always the fleet-wide aggregates (LastSimilarity is the
+// request-weighted mean of the shards' figures).
 type StatsResponse struct {
-	Algorithm      string  `json:"algorithm"`
-	Requests       int64   `json:"requests"`
-	Opened         int64   `json:"opened"`
-	WalkTotal      float64 `json:"walkTotalMeters"`
-	Stations       int     `json:"stations"`
-	Errors         int64   `json:"errors"`
-	Shed           int64   `json:"shed"`
-	LastSimilarity float64 `json:"lastSimilarityPct,omitempty"`
+	Algorithm      string       `json:"algorithm"`
+	Requests       int64        `json:"requests"`
+	Opened         int64        `json:"opened"`
+	WalkTotal      float64      `json:"walkTotalMeters"`
+	Stations       int          `json:"stations"`
+	Errors         int64        `json:"errors"`
+	Shed           int64        `json:"shed"`
+	LastSimilarity *float64     `json:"lastSimilarityPct,omitempty"`
+	Shards         []ShardStats `json:"shards,omitempty"`
 }
 
 // errorBody is the JSON error envelope.
@@ -69,76 +92,94 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-// readSnapshot is the immutable state served to the lock-free read
-// endpoints. The stations slice is never mutated after publication — a
-// fresh copy is taken from the placer whenever a decision opens a
+// readSnapshot is one shard's immutable state served to the lock-free
+// read endpoints. The stations slice is never mutated after publication
+// — a fresh copy is taken from the placer whenever a decision opens a
 // station — so concurrent readers may share it without copying.
-// stationsJSON memoises the marshalled /v1/stations body: the station
-// set only changes when a new snapshot is published, so every reader
-// between publications shares one encoding instead of re-marshalling
-// thousands of points per poll.
 type readSnapshot struct {
 	stations []geo.Point
 	lastSim  float64
 	hasSim   bool // placer is a *core.ESharing with a similarity figure
+}
+
+// mergedView is the fleet-wide read state: the per-shard snapshots it
+// was built from and their station sets concatenated in shard-index
+// order (so /v1/stations is deterministic for a fixed per-shard state).
+// stationsJSON memoises the marshalled /v1/stations body: the merged
+// station set only changes when some shard republishes, so every reader
+// in between shares one encoding instead of re-marshalling thousands of
+// points per poll.
+type mergedView struct {
+	parts    []*readSnapshot // shard-index order, len == len(shards)
+	stations []geo.Point
 
 	stationsJSON atomic.Pointer[[]byte]
 }
 
-// Server wraps an online placer behind an HTTP API; NewWithFleet adds
-// tier-2 fleet endpoints.
+// valid reports whether the view still reflects every shard's current
+// snapshot, i.e. serving it is indistinguishable from rebuilding it.
+func (v *mergedView) valid(shards []*shard) bool {
+	for i, sh := range shards {
+		if v.parts[i] != sh.snap.Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// sameStationArrays reports whether two snapshot lists carry the same
+// station arrays (by identity, which implies identical content since
+// published slices are immutable). True when only similarity figures
+// changed between views, letting the cached stations encoding carry
+// over.
+func sameStationArrays(a, b []*readSnapshot) bool {
+	for i := range a {
+		sa, sb := a[i].stations, b[i].stations
+		if len(sa) != len(sb) {
+			return false
+		}
+		if len(sa) > 0 && &sa[0] != &sb[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// Server wraps one or more online placers (one per geo-shard) behind an
+// HTTP API; NewWithFleet adds tier-2 fleet endpoints.
 type Server struct {
-	// placer is the serialised decision engine; every call on it must
-	// happen under the decision channel-lock.
-	// guarded by decision
-	placer core.OnlinePlacer
-	name   string // placer.Name(), cached so reads never touch the placer
+	name string // placer.Name(), shared by all shards, cached for reads
 
-	// decision is a capacity-1 channel used as the placement lock
-	// (send = acquire, receive = release): unlike a sync.Mutex, a
-	// queued request can abandon the wait when its context is
-	// cancelled. queue bounds how many requests may hold or wait for
-	// the lock; when it is full, handlePlace sheds with 429.
-	decision    chan struct{}
-	queue       chan struct{}
-	maxInFlight int
-	shedMsg     string // 429 body, pre-rendered off the hot path
+	// shards are the independent decision loops; immutable after New.
+	// Requests route by the planar cell of their destination at
+	// shardPrecision (see geo.ShardOf).
+	shards         []*shard
+	shardPrecision int
+	maxInFlight    int // fleet-wide admission budget (-max-inflight)
 
-	fleetMu sync.Mutex // guards fleet independently of the decision lock
+	fleetMu sync.Mutex // guards fleet independently of the decision locks
 	// fleet is nil unless built with NewWithFleet; the pointer is set
 	// once before serving, its state mutates only under the lock.
 	// guarded by fleetMu
 	fleet *energy.Fleet
+	// getBike reads one bike's post-ride state (called under fleetMu).
+	// It exists as a seam: with the real fleet a lookup after a
+	// successful ride cannot fail, so tests inject failures here to
+	// pin handleRide's no-zero-valued-200 contract.
+	getBike func(id int64) (energy.Bike, error)
 
-	// Counters are written only under the decision lock (single
-	// writer) and read lock-free by the stats/metrics handlers.
-	// walkBits holds the math.Float64bits of the cumulative walk
-	// distance.
-	requests atomic.Int64
-	opened   atomic.Int64
-	walkBits atomic.Uint64 // guarded by decision
-
-	// wal, when non-nil, is the durable decision log (see wal.go): set
-	// once during construction, appended to and snapshotted only under
-	// the decision lock. Lock-free paths may nil-check the pointer and
-	// read its (internally atomic) Metrics.
-	// guarded by decision
-	wal              *wal.Log
+	// WAL configuration distributed to the shards by NewSharded; each
+	// shard owns its log (multi-shard servers use walDir/shard-<index>).
 	walDir           string
 	walSyncEvery     int
 	walSnapshotEvery uint64
-	walFailures      atomic.Int64 // append/snapshot failures (degraded)
-	walFailed        atomic.Bool  // latched by the first failure
-	walReplayNanos   atomic.Int64 // startup replay duration
-	walReplayed      atomic.Int64 // records replayed at startup
 
 	// Serving-path instrumentation, all lock-free (see metrics.go).
-	shed      atomic.Int64 // 429s from the admission gate
 	errors    atomic.Int64 // all >=400 responses across endpoints
 	inflight  atomic.Int64 // HTTP requests currently being served
 	endpoints [numEndpoints]endpointMetrics
 
-	snap atomic.Pointer[readSnapshot]
+	merged atomic.Pointer[mergedView]
 
 	mux *http.ServeMux
 	// fallback serves requests no registered route matches, wrapping the
@@ -153,8 +194,9 @@ var _ http.Handler = (*Server)(nil)
 type Option func(*Server)
 
 // WithMaxInFlight bounds how many placement requests may hold or queue
-// for the decision lock at once; requests beyond the bound are shed
-// with 429 Too Many Requests. Values < 1 keep DefaultMaxInFlight.
+// for the decision locks at once, divided evenly across shards (at
+// least 1 per shard); requests beyond a shard's share are shed with 429
+// Too Many Requests. Values < 1 keep DefaultMaxInFlight.
 func WithMaxInFlight(n int) Option {
 	return func(s *Server) {
 		if n >= 1 {
@@ -163,31 +205,98 @@ func WithMaxInFlight(n int) Option {
 	}
 }
 
-// New builds a Server around placer.
+// WithShardPrecision sets the planar cell precision used to route
+// placement requests to shards (see geo.PlanarCellID): lower values
+// make larger cells (geo.DefaultShardPrecision ≈ one cell per city),
+// higher values shard within a city. Out-of-range values clamp to
+// [1, 12]. Irrelevant on a single-shard server.
+func WithShardPrecision(p int) Option {
+	return func(s *Server) {
+		s.shardPrecision = p
+	}
+}
+
+// New builds a single-shard Server around placer.
 func New(placer core.OnlinePlacer, opts ...Option) (*Server, error) {
 	if placer == nil {
 		return nil, errors.New("server: nil placer")
 	}
+	return NewSharded([]core.OnlinePlacer{placer}, opts...)
+}
+
+// NewSharded builds a geo-sharded Server: one independent decision loop
+// per placer, with placement requests routed by destination cell and
+// read endpoints merging the per-shard state. All placers must run the
+// same algorithm. A one-element slice is exactly New.
+func NewSharded(placers []core.OnlinePlacer, opts ...Option) (*Server, error) {
+	if len(placers) == 0 {
+		return nil, errors.New("server: no placers")
+	}
+	for i, p := range placers {
+		if p == nil {
+			return nil, fmt.Errorf("server: nil placer (shard %d)", i)
+		}
+	}
+	name := placers[0].Name()
+	for i, p := range placers[1:] {
+		if p.Name() != name {
+			return nil, fmt.Errorf("server: shard %d runs %q but shard 0 runs %q; all shards must run the same algorithm",
+				i+1, p.Name(), name)
+		}
+	}
 	s := &Server{
-		placer:      placer,
-		name:        placer.Name(),
-		maxInFlight: DefaultMaxInFlight,
-		decision:    make(chan struct{}, 1),
-		mux:         http.NewServeMux(),
+		name:           name,
+		shardPrecision: geo.DefaultShardPrecision,
+		maxInFlight:    DefaultMaxInFlight,
+		mux:            http.NewServeMux(),
 	}
 	for _, opt := range opts {
 		opt(s)
 	}
-	s.queue = make(chan struct{}, s.maxInFlight)
-	s.shedMsg = fmt.Sprintf("placement queue full (%d in flight)", s.maxInFlight)
+	perShard := s.maxInFlight / len(placers)
+	if perShard < 1 {
+		perShard = 1
+	}
+	s.shards = make([]*shard, len(placers))
+	for i, p := range placers {
+		sh := &shard{
+			index:       i,
+			name:        name,
+			placer:      p,
+			decision:    make(chan struct{}, 1),
+			queue:       make(chan struct{}, perShard),
+			maxInFlight: perShard,
+		}
+		if len(placers) == 1 {
+			sh.shedMsg = fmt.Sprintf("placement queue full (%d in flight)", perShard)
+		} else {
+			sh.shedMsg = fmt.Sprintf("placement queue full on shard %d (%d in flight)", i, perShard)
+		}
+		s.shards[i] = sh
+	}
 	if s.walDir != "" {
-		// Recover before the first snapshot publication so the read
-		// endpoints never expose pre-recovery state.
-		if err := s.openWAL(); err != nil {
-			return nil, err
+		// Recover every shard before the first snapshot publication so
+		// the read endpoints never expose pre-recovery state. A
+		// single-shard log lives at walDir itself, byte-compatible with
+		// logs written before sharding existed.
+		for i, sh := range s.shards {
+			sh.walDir = s.walDir
+			if len(s.shards) > 1 {
+				sh.walDir = filepath.Join(s.walDir, fmt.Sprintf("shard-%03d", i))
+			}
+			sh.walSyncEvery = s.walSyncEvery
+			sh.walSnapshotEvery = s.walSnapshotEvery
+			if err := sh.openWAL(); err != nil {
+				for _, prev := range s.shards[:i] {
+					_ = prev.closeWAL()
+				}
+				return nil, err
+			}
 		}
 	}
-	s.publishSnapshot()
+	for _, sh := range s.shards {
+		sh.publishSnapshot()
+	}
 	s.mux.HandleFunc("POST /v1/requests", s.instrument(epPlace, s.handlePlace))
 	s.mux.HandleFunc("GET /v1/stations", s.instrument(epStations, s.handleStations))
 	s.mux.HandleFunc("GET /v1/stats", s.instrument(epStats, s.handleStats))
@@ -211,49 +320,50 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// publishSnapshot republishes the read-side state;
-// caller holds decision (or the server is not yet serving).
-// Called whenever the
-// station set or the similarity figure may have changed; it copies the
-// station slice, so callers should skip it when nothing changed.
-func (s *Server) publishSnapshot() {
-	snap := &readSnapshot{stations: s.placer.Stations()}
-	if es, ok := s.placer.(*core.ESharing); ok {
-		snap.lastSim = es.LastSimilarity()
-		snap.hasSim = true
+// view returns the merged read state, no staler than the moment of the
+// call: a cached view is served only while every shard's snapshot is
+// still the one it was built from, otherwise a fresh view is built from
+// the current snapshots. Rebuilds race benignly — last store wins, and
+// a reader that loads an older cached view re-validates it before
+// serving, so a decision whose response has been committed is never
+// hidden. With a single shard the view aliases the shard's own station
+// slice, no copying.
+//
+//esharing:hotpath
+func (s *Server) view() *mergedView {
+	cur := s.merged.Load()
+	if cur != nil && cur.valid(s.shards) {
+		return cur
 	}
-	s.snap.Store(snap)
-}
-
-// refreshAfterPlace updates the published snapshot after a decision;
-// caller holds decision. The station copy is only taken when the set
-// actually changed (a station opened); a similarity change alone reuses
-// the current slice.
-func (s *Server) refreshAfterPlace(opened bool) {
-	if opened {
-		s.publishSnapshot()
-		return
+	parts := make([]*readSnapshot, len(s.shards))
+	total := 0
+	for i, sh := range s.shards {
+		parts[i] = sh.snap.Load()
+		total += len(parts[i].stations)
 	}
-	cur := s.snap.Load()
-	if !cur.hasSim {
-		return
+	next := &mergedView{parts: parts}
+	if len(s.shards) == 1 {
+		next.stations = parts[0].stations
+	} else {
+		st := make([]geo.Point, 0, total)
+		for _, p := range parts {
+			st = append(st, p.stations...)
+		}
+		next.stations = st
 	}
-	es, ok := s.placer.(*core.ESharing)
-	if !ok {
-		return
-	}
-	if sim := es.LastSimilarity(); sim != cur.lastSim {
-		next := &readSnapshot{stations: cur.stations, lastSim: sim, hasSim: true}
-		// The station set is unchanged, so the cached encoding carries over.
+	if cur != nil && sameStationArrays(cur.parts, parts) {
+		// Only similarity figures changed; the station content is
+		// identical, so the cached encoding stays byte-accurate.
 		if b := cur.stationsJSON.Load(); b != nil {
 			next.stationsJSON.Store(b)
 		}
-		s.snap.Store(next)
 	}
+	s.merged.Store(next)
+	return next
 }
 
-// handlePlace serves POST /v1/requests: admission gate, decision lock,
-// placement, snapshot refresh.
+// handlePlace serves POST /v1/requests: shard routing, admission gate,
+// decision lock, placement, snapshot refresh.
 //
 //esharing:hotpath
 func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
@@ -265,43 +375,45 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "destination must be finite"})
 		return
 	}
+	sh := s.route(req.Dest)
 
-	// Admission gate: claim a queue slot or shed immediately. Shedding
-	// here — before touching the decision lock — keeps the 429 path
-	// O(1) no matter how stalled the placer is.
+	// Admission gate: claim a queue slot on the destination's shard or
+	// shed immediately. Shedding here — before touching the decision
+	// lock — keeps the 429 path O(1) no matter how stalled the placer
+	// is.
 	select {
-	case s.queue <- struct{}{}:
+	case sh.queue <- struct{}{}:
 	default:
-		s.shed.Add(1)
+		sh.shed.Add(1)
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: s.shedMsg})
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: sh.shedMsg})
 		return
 	}
-	defer func() { <-s.queue }()
+	defer func() { <-sh.queue }()
 
-	// Wait for the decision lock, abandoning the wait if the client
-	// gives up first.
+	// Wait for the shard's decision lock, abandoning the wait if the
+	// client gives up first.
 	select {
-	case s.decision <- struct{}{}:
+	case sh.decision <- struct{}{}:
 	case <-r.Context().Done():
 		writeJSON(w, statusClientClosedRequest,
 			errorBody{Error: "request canceled while queued for placement"})
 		return
 	}
-	decision, err := s.placer.Place(req.Dest)
+	decision, err := sh.placer.Place(req.Dest)
 	if err == nil {
-		s.requests.Add(1)
+		sh.requests.Add(1)
 		if decision.Opened {
-			s.opened.Add(1)
+			sh.opened.Add(1)
 		}
-		walk := math.Float64frombits(s.walkBits.Load()) + decision.Walk
-		s.walkBits.Store(math.Float64bits(walk))
-		s.refreshAfterPlace(decision.Opened)
+		walk := math.Float64frombits(sh.walkBits.Load()) + decision.Walk
+		sh.walkBits.Store(math.Float64bits(walk))
+		sh.refreshAfterPlace(decision.Opened)
 		// The decision is durable (modulo -wal-sync batching) before
 		// the lock is released and the response committed.
-		s.logDecision(req.Dest, decision)
+		sh.logDecision(req.Dest, decision)
 	}
-	<-s.decision
+	<-sh.decision
 
 	if err != nil {
 		writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: err.Error()})
@@ -315,17 +427,18 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleStations serves GET /v1/stations from the published snapshot,
-// memoising the marshalled body between publications.
+// handleStations serves GET /v1/stations from the merged view —
+// per-shard station sets concatenated in shard-index order — memoising
+// the marshalled body between shard publications.
 //
 //esharing:hotpath
 func (s *Server) handleStations(w http.ResponseWriter, _ *http.Request) {
-	snap := s.snap.Load()
-	if b := snap.stationsJSON.Load(); b != nil {
+	v := s.view()
+	if b := v.stationsJSON.Load(); b != nil {
 		writeJSONBytes(w, *b)
 		return
 	}
-	buf, err := json.Marshal(StationsResponse{Stations: snap.stations})
+	buf, err := json.Marshal(StationsResponse{Stations: v.stations})
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "encode stations: " + err.Error()})
 		return
@@ -333,40 +446,84 @@ func (s *Server) handleStations(w http.ResponseWriter, _ *http.Request) {
 	buf = append(buf, '\n')
 	// Concurrent first readers may both marshal; last store wins and
 	// the results are identical, so this race is benign.
-	snap.stationsJSON.Store(&buf)
+	v.stationsJSON.Store(&buf)
 	writeJSONBytes(w, buf)
 }
 
-// handleStats serves GET /v1/stats from atomics and the snapshot.
+// handleStats serves GET /v1/stats from the per-shard atomics and the
+// merged view, summed in shard-index order so the aggregate floats are
+// deterministic for a fixed per-shard state.
 //
 //esharing:hotpath
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	snap := s.snap.Load()
+	v := s.view()
 	resp := StatsResponse{
 		Algorithm: s.name,
-		Requests:  s.requests.Load(),
-		Opened:    s.opened.Load(),
-		WalkTotal: math.Float64frombits(s.walkBits.Load()),
-		Stations:  len(snap.stations),
+		Stations:  len(v.stations),
 		Errors:    s.errors.Load(),
-		Shed:      s.shed.Load(),
 	}
-	if snap.hasSim {
-		resp.LastSimilarity = snap.lastSim
+	per := make([]ShardStats, len(s.shards))
+	for i, sh := range s.shards {
+		part := v.parts[i]
+		ss := ShardStats{
+			Shard:     i,
+			Requests:  sh.requests.Load(),
+			Opened:    sh.opened.Load(),
+			WalkTotal: math.Float64frombits(sh.walkBits.Load()),
+			Stations:  len(part.stations),
+			Shed:      sh.shed.Load(),
+		}
+		if part.hasSim {
+			sim := part.lastSim
+			ss.LastSimilarity = &sim
+		}
+		per[i] = ss
+		resp.Requests += ss.Requests
+		resp.Opened += ss.Opened
+		resp.WalkTotal += ss.WalkTotal
+		resp.Shed += ss.Shed
+	}
+	if len(per) == 1 {
+		// Single shard: the shard's figure verbatim, bit-identical to
+		// the unsharded server (no mean arithmetic in between).
+		resp.LastSimilarity = per[0].LastSimilarity
+	} else {
+		resp.Shards = per
+		var wSum, wTot, uSum float64
+		simCount := 0
+		for _, ss := range per {
+			if ss.LastSimilarity == nil {
+				continue
+			}
+			simCount++
+			uSum += *ss.LastSimilarity
+			wSum += *ss.LastSimilarity * float64(ss.Requests)
+			wTot += float64(ss.Requests)
+		}
+		if simCount > 0 {
+			sim := uSum / float64(simCount)
+			if wTot > 0 {
+				sim = wSum / wTot
+			}
+			resp.LastSimilarity = &sim
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	if s.walFailed.Load() {
-		// A WAL append or snapshot failed: decisions since then are
-		// not durable, so the instance must be drained and replaced
-		// even though it still serves correctly from memory.
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
-			"status": "degraded",
-			"reason": "decision log write failed; recent decisions are not durable",
-		})
-		return
+	for _, sh := range s.shards {
+		if sh.walFailed.Load() {
+			// A WAL append or snapshot failed on some shard: decisions
+			// since then are not durable, so the instance must be
+			// drained and replaced even though it still serves
+			// correctly from memory.
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+				"status": "degraded",
+				"reason": "decision log write failed; recent decisions are not durable",
+			})
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }

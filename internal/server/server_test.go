@@ -129,8 +129,10 @@ func TestStatsExposesESharingSimilarity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.LastSimilarity == 0 {
+	if got.LastSimilarity == nil {
 		t.Error("E-sharing stats should expose the last similarity")
+	} else if *got.LastSimilarity == 0 {
+		t.Error("20 in-distribution requests should score a nonzero similarity")
 	}
 }
 

@@ -11,20 +11,24 @@ import (
 )
 
 // Durability wiring: when built with WithWAL, every accepted placement
-// is appended to a write-ahead log under the decision lock before the
-// response is released, and construction replays any existing log —
-// through the placer itself, bypassing HTTP — to recover the exact
-// pre-crash state. Recovery is verified, not assumed: every replayed
-// record must reproduce the logged decision bit for bit, the restored
-// snapshot must reproduce the logged station digest and similarity
-// figure, and any mismatch refuses startup rather than serve from a
-// silently diverged engine.
+// is appended to the owning shard's write-ahead log under that shard's
+// decision lock before the response is released, and construction
+// replays any existing log — through the placer itself, bypassing HTTP
+// — to recover the exact pre-crash state. Each shard's log is
+// independent (multi-shard servers keep them under walDir/shard-<index>),
+// so the recovery invariant holds per shard: every replayed record must
+// reproduce the logged decision bit for bit, the restored snapshot must
+// reproduce the logged station digest and similarity figure, and any
+// mismatch refuses startup rather than serve from a silently diverged
+// engine.
 
 // WithWAL attaches a durable decision log rooted at dir. syncEvery
 // batches fsyncs (1 = sync every decision, 0 = let the OS decide);
 // snapshotEvery checkpoints and truncates the log after that many
-// records (0 disables the cadence). The placer must implement
-// core.DurablePlacer.
+// records (0 disables the cadence). The placers must implement
+// core.DurablePlacer. A single-shard server keeps its log at dir
+// itself (compatible with logs written before sharding existed);
+// multi-shard servers give each shard dir/shard-<index>.
 func WithWAL(dir string, syncEvery int, snapshotEvery uint64) Option {
 	return func(s *Server) {
 		s.walDir = dir
@@ -33,44 +37,44 @@ func WithWAL(dir string, syncEvery int, snapshotEvery uint64) Option {
 	}
 }
 
-// openWAL opens (or creates) the decision log and replays whatever it
-// finds into the freshly built placer. Called from New before the
-// server starts serving; it still takes the decision lock for real, so
-// the lock discipline holds even if construction ever overlaps
-// serving.
-func (s *Server) openWAL() error {
-	dp, ok := s.placer.(core.DurablePlacer)
+// openWAL opens (or creates) the shard's decision log and replays
+// whatever it finds into the freshly built placer. Called from
+// NewSharded before the server starts serving; it still takes the
+// decision lock for real, so the lock discipline holds even if
+// construction ever overlaps serving.
+func (sh *shard) openWAL() error {
+	dp, ok := sh.placer.(core.DurablePlacer)
 	if !ok {
-		return fmt.Errorf("server: placer %q does not support durable logging", s.name)
+		return fmt.Errorf("server: placer %q does not support durable logging", sh.name)
 	}
-	log, rec, err := wal.Open(s.walDir, wal.Options{
+	log, rec, err := wal.Open(sh.walDir, wal.Options{
 		ConfigDigest:  dp.ConfigDigest(),
-		Name:          s.name,
-		SyncEvery:     s.walSyncEvery,
-		SnapshotEvery: s.walSnapshotEvery,
+		Name:          sh.name,
+		SyncEvery:     sh.walSyncEvery,
+		SnapshotEvery: sh.walSnapshotEvery,
 	})
 	if err != nil {
 		return err
 	}
 
 	start := time.Now()
-	s.decision <- struct{}{}
-	err = s.replayRecovered(dp, rec)
-	<-s.decision
+	sh.decision <- struct{}{}
+	err = sh.replayRecovered(dp, rec)
+	<-sh.decision
 	if err != nil {
 		log.Close()
 		return err
 	}
-	s.walReplayNanos.Store(time.Since(start).Nanoseconds())
-	s.walReplayed.Store(int64(len(rec.Tail)))
-	s.wal = log
+	sh.walReplayNanos.Store(time.Since(start).Nanoseconds())
+	sh.walReplayed.Store(int64(len(rec.Tail)))
+	sh.wal = log
 	return nil
 }
 
 // replayRecovered restores the snapshot and re-drives the log tail
 // through the placer, verifying bit-identical reproduction of every
 // recorded decision; caller holds decision.
-func (s *Server) replayRecovered(dp core.DurablePlacer, rec *wal.Recovered) error {
+func (sh *shard) replayRecovered(dp core.DurablePlacer, rec *wal.Recovered) error {
 	if snap := rec.Snapshot; snap != nil {
 		if err := dp.UnmarshalState(snap.PlacerState); err != nil {
 			return fmt.Errorf("server: restore wal snapshot: %w", err)
@@ -78,15 +82,15 @@ func (s *Server) replayRecovered(dp core.DurablePlacer, rec *wal.Recovered) erro
 		if got := core.StationDigest(dp.Stations()); got != snap.StationsDigest {
 			return fmt.Errorf("server: restored station set digest %#x, snapshot recorded %#x", got, snap.StationsDigest)
 		}
-		if es, ok := s.placer.(*core.ESharing); ok {
+		if es, ok := sh.placer.(*core.ESharing); ok {
 			if got := math.Float64bits(es.LastSimilarity()); got != snap.SimBits {
 				return fmt.Errorf("server: restored similarity %v, snapshot recorded %v",
 					math.Float64frombits(got), math.Float64frombits(snap.SimBits))
 			}
 		}
-		s.requests.Store(int64(snap.Requests))
-		s.opened.Store(int64(snap.Opened))
-		s.walkBits.Store(snap.WalkBits)
+		sh.requests.Store(int64(snap.Requests))
+		sh.opened.Store(int64(snap.Opened))
+		sh.walkBits.Store(snap.WalkBits)
 	}
 	for i, r := range rec.Tail {
 		switch r := r.(type) {
@@ -99,16 +103,16 @@ func (s *Server) replayRecovered(dp core.DurablePlacer, rec *wal.Recovered) erro
 				return fmt.Errorf("server: wal replay diverged at record %d: "+
 					"placer produced %+v, log recorded %+v — the engine or its inputs changed since the log was written", i, d, r)
 			}
-			s.requests.Add(1)
+			sh.requests.Add(1)
 			if d.Opened {
-				s.opened.Add(1)
+				sh.opened.Add(1)
 			}
-			walk := math.Float64frombits(s.walkBits.Load()) + d.Walk
-			s.walkBits.Store(math.Float64bits(walk))
+			walk := math.Float64frombits(sh.walkBits.Load()) + d.Walk
+			sh.walkBits.Store(math.Float64bits(walk))
 		case wal.PickupRecord:
-			rm, ok := s.placer.(core.StationRemover)
+			rm, ok := sh.placer.(core.StationRemover)
 			if !ok {
-				return fmt.Errorf("server: wal replay record %d: placer %q cannot replay pickups", i, s.name)
+				return fmt.Errorf("server: wal replay record %d: placer %q cannot replay pickups", i, sh.name)
 			}
 			if err := rm.RemoveStation(r.StationIndex); err != nil {
 				return fmt.Errorf("server: wal replay record %d: %w", i, err)
@@ -131,38 +135,38 @@ func decisionMatchesRecord(d core.Decision, r wal.DecisionRecord) bool {
 		math.Float64bits(d.Station.Y) == math.Float64bits(r.Station.Y)
 }
 
-// logDecision appends an accepted placement to the WAL and runs the
-// snapshot cadence; caller holds decision. An append or snapshot
+// logDecision appends an accepted placement to the shard's WAL and runs
+// the snapshot cadence; caller holds decision. An append or snapshot
 // failure does not fail the request — the decision is already applied
 // and acknowledged state must match the placer — but it flips the
 // server into degraded health (the log is no longer ahead of the
 // state) and counts on esharing_wal_failures_total.
-func (s *Server) logDecision(dest geo.Point, d core.Decision) {
-	if s.wal == nil {
+func (sh *shard) logDecision(dest geo.Point, d core.Decision) {
+	if sh.wal == nil {
 		return
 	}
-	err := s.wal.AppendDecision(wal.DecisionRecord{
+	err := sh.wal.AppendDecision(wal.DecisionRecord{
 		Dest:         dest,
 		Station:      d.Station,
 		StationIndex: d.StationIndex,
 		Opened:       d.Opened,
 		Walk:         d.Walk,
 	})
-	if err == nil && s.wal.SnapshotDue() {
-		err = s.writeWALSnapshot()
+	if err == nil && sh.wal.SnapshotDue() {
+		err = sh.writeWALSnapshot()
 	}
 	if err != nil {
-		s.walFailures.Add(1)
-		s.walFailed.Store(true)
+		sh.walFailures.Add(1)
+		sh.walFailed.Store(true)
 	}
 }
 
 // writeWALSnapshot checkpoints the placer and serving counters and
-// truncates the log; caller holds decision.
-func (s *Server) writeWALSnapshot() error {
-	dp, ok := s.placer.(core.DurablePlacer)
+// truncates the shard's log; caller holds decision.
+func (sh *shard) writeWALSnapshot() error {
+	dp, ok := sh.placer.(core.DurablePlacer)
 	if !ok {
-		return fmt.Errorf("server: placer %q does not support durable logging", s.name)
+		return fmt.Errorf("server: placer %q does not support durable logging", sh.name)
 	}
 	state, err := dp.MarshalState()
 	if err != nil {
@@ -170,40 +174,55 @@ func (s *Server) writeWALSnapshot() error {
 	}
 	snap := &wal.Snapshot{
 		PlacerState:    state,
-		Requests:       uint64(s.requests.Load()),
-		Opened:         uint64(s.opened.Load()),
-		WalkBits:       s.walkBits.Load(),
+		Requests:       uint64(sh.requests.Load()),
+		Opened:         uint64(sh.opened.Load()),
+		WalkBits:       sh.walkBits.Load(),
 		StationsDigest: core.StationDigest(dp.Stations()),
 	}
-	if es, ok := s.placer.(*core.ESharing); ok {
+	if es, ok := sh.placer.(*core.ESharing); ok {
 		snap.SimBits = math.Float64bits(es.LastSimilarity())
 	}
-	return s.wal.WriteSnapshot(snap)
+	return sh.wal.WriteSnapshot(snap)
 }
 
-// WALRecords reports how many records the decision log holds past its
-// snapshot base — appended this run or recovered at startup — or 0
-// when the server runs without durability. Intended for startup
-// logging; it briefly takes the decision lock.
-func (s *Server) WALRecords() uint64 {
-	s.decision <- struct{}{}
-	defer func() { <-s.decision }()
-	if s.wal == nil {
-		return 0
-	}
-	return s.wal.Records()
-}
-
-// Close flushes and closes the decision log (a no-op without one). The
-// decision lock is held across the close so no placement can race the
-// final sync.
-func (s *Server) Close() error {
-	s.decision <- struct{}{}
-	defer func() { <-s.decision }()
-	if s.wal == nil {
+// closeWAL flushes and closes the shard's decision log (a no-op
+// without one). The decision lock is held across the close so no
+// placement can race the final sync.
+func (sh *shard) closeWAL() error {
+	sh.decision <- struct{}{}
+	defer func() { <-sh.decision }()
+	if sh.wal == nil {
 		return nil
 	}
-	err := s.wal.Close()
-	s.wal = nil
+	err := sh.wal.Close()
+	sh.wal = nil
 	return err
+}
+
+// WALRecords reports how many records the decision logs hold past their
+// snapshot bases — appended this run or recovered at startup, summed
+// across shards — or 0 when the server runs without durability.
+// Intended for startup logging; it briefly takes each decision lock.
+func (s *Server) WALRecords() uint64 {
+	var total uint64
+	for _, sh := range s.shards {
+		sh.decision <- struct{}{}
+		if sh.wal != nil {
+			total += sh.wal.Records()
+		}
+		<-sh.decision
+	}
+	return total
+}
+
+// Close flushes and closes every shard's decision log (a no-op without
+// durability), returning the first error.
+func (s *Server) Close() error {
+	var first error
+	for _, sh := range s.shards {
+		if err := sh.closeWAL(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }

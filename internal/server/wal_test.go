@@ -93,9 +93,19 @@ func sameServingState(t *testing.T, got, want capturedState) {
 	g, w := got.stats, want.stats
 	if g.Requests != w.Requests || g.Opened != w.Opened || g.Stations != w.Stations ||
 		math.Float64bits(g.WalkTotal) != math.Float64bits(w.WalkTotal) ||
-		math.Float64bits(g.LastSimilarity) != math.Float64bits(w.LastSimilarity) {
+		simPresent(g.LastSimilarity) != simPresent(w.LastSimilarity) ||
+		simBits(g.LastSimilarity) != simBits(w.LastSimilarity) {
 		t.Fatalf("stats diverged:\n got %+v\nwant %+v", g, w)
 	}
+}
+
+func simPresent(p *float64) bool { return p != nil }
+
+func simBits(p *float64) uint64 {
+	if p == nil {
+		return 0
+	}
+	return math.Float64bits(*p)
 }
 
 // TestWALRecoveryBitIdentical is the tentpole invariant end to end:
@@ -151,7 +161,7 @@ func TestWALRecoveryBitIdentical(t *testing.T) {
 				}
 			}
 			after := capture(t, restored)
-			if got, want := core.StationDigest(restored.snap.Load().stations), core.StationDigest(ref.Stations()); got != want {
+			if got, want := core.StationDigest(restored.view().stations), core.StationDigest(ref.Stations()); got != want {
 				t.Fatalf("post-recovery stream diverged from uninterrupted reference")
 			}
 			if after.stats.Requests != 70 {
@@ -210,7 +220,7 @@ func TestWALKillAtEveryByte(t *testing.T) {
 			// truncation must never be judged corrupt.
 			t.Fatalf("cut %d: recovery refused: %v", cut, err)
 		}
-		n := int(restored.requests.Load())
+		n := int(restored.shards[0].requests.Load())
 		if n > K {
 			t.Fatalf("cut %d: recovered %d requests from a %d-request log", cut, n, K)
 		}
@@ -305,9 +315,10 @@ func TestWALFailureDegradesHealth(t *testing.T) {
 
 	// Sabotage the log file out from under the server; the next append
 	// hits a closed descriptor.
-	srv.decision <- struct{}{}
-	srv.wal.Close()
-	<-srv.decision
+	sh := srv.shards[0]
+	sh.decision <- struct{}{}
+	sh.wal.Close()
+	<-sh.decision
 
 	placeOK(t, srv, geo.Pt(200, 200))
 	rec = httptest.NewRecorder()
@@ -315,7 +326,7 @@ func TestWALFailureDegradesHealth(t *testing.T) {
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("degraded server reported %d: %s", rec.Code, rec.Body.String())
 	}
-	if got := srv.walFailures.Load(); got == 0 {
+	if got := sh.walFailures.Load(); got == 0 {
 		t.Fatal("failure not counted")
 	}
 	if fams := scrapeMetrics(t, srv); famValue(fams, "esharing_wal_failures_total") == 0 {

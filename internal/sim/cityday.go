@@ -54,9 +54,9 @@ func RunDay(placer core.OnlinePlacer, fleet *energy.Fleet, trips []dataset.Trip,
 			report.StationsOpened++
 			report.SpaceCost += openingCost
 		}
-		report.WalkTotal += decision.Walk
-
-		// Ride the bike to the assigned parking.
+		// Ride the bike to the assigned parking. The walk counts only
+		// when the ride reaches the parking: a stranded rider abandons
+		// the bike at the raw destination and walks nowhere.
 		if err := fleet.Ride(trip.BikeID, decision.Station); err != nil {
 			switch {
 			case errors.Is(err, energy.ErrBatteryEmpty):
@@ -71,6 +71,8 @@ func RunDay(placer core.OnlinePlacer, fleet *energy.Fleet, trips []dataset.Trip,
 			default:
 				return nil, fmt.Errorf("sim: trip %d: %w", i, err)
 			}
+		} else {
+			report.WalkTotal += decision.Walk
 		}
 	}
 	report.StationsTotal = len(placer.Stations())

@@ -91,10 +91,9 @@ func RunDayWithInventory(
 			report.SpaceCost += openingCost
 			inventory = append(inventory, nil)
 		}
-		report.WalkTotal += decision.Walk
-
 		// Ride there (stranding drops the bike at the raw destination,
-		// off-station).
+		// off-station; the never-taken walk to the parking is not
+		// charged to the objective).
 		target := decision.Station
 		if err := fleet.Ride(bikeID, target); err != nil {
 			if errors.Is(err, energy.ErrBatteryEmpty) {
@@ -107,6 +106,7 @@ func RunDayWithInventory(
 			}
 			return nil, fmt.Errorf("sim: trip %d: %w", i, err)
 		}
+		report.WalkTotal += decision.Walk
 		inventory[decision.StationIndex] = append(inventory[decision.StationIndex], bikeID)
 		report.Served++
 	}

@@ -145,3 +145,43 @@ func TestInventoryBookkeepingBalances(t *testing.T) {
 		t.Errorf("fleet size changed: %d", fleet.Len())
 	}
 }
+
+// TestInventoryStrandedWalkNotCharged: a trip whose bike dies before
+// the parking strands at the raw destination — the rider never walks
+// the decision's station leg, so WalkTotal must stay untouched (the
+// objective used to charge the phantom walk anyway).
+func TestInventoryStrandedWalkNotCharged(t *testing.T) {
+	landmarks := []geo.Point{geo.Pt(0, 0), geo.Pt(3000, 0)}
+	cfg := core.DefaultESharingConfig()
+	cfg.TestEvery = 0
+	placer, err := core.NewESharing(landmarks, 1e6, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := energy.NewFleet(energy.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1% charge rides ~350 m; the assigned parking is ~3 km out.
+	if err := fleet.Add(energy.Bike{ID: 1, Loc: geo.Pt(0, 0), Level: 0.01}); err != nil {
+		t.Fatal(err)
+	}
+	trips := []dataset.Trip{tripAt(1, geo.Pt(0, 0), geo.Pt(2990, 0))}
+	rep, err := RunDayWithInventory(placer, fleet, trips, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stranded != 1 || rep.Served != 1 {
+		t.Fatalf("stranded=%d served=%d, want 1/1 (report %+v)", rep.Stranded, rep.Served, rep)
+	}
+	if rep.WalkTotal != 0 {
+		t.Errorf("stranded trip contributed %v m of walk, want 0", rep.WalkTotal)
+	}
+	b, err := fleet.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Loc != geo.Pt(2990, 0) {
+		t.Errorf("stranded bike at %v, want the raw destination", b.Loc)
+	}
+}

@@ -292,4 +292,10 @@ func TestRunDayStranded(t *testing.T) {
 	if b.Loc != geo.Pt(2990, 0) {
 		t.Errorf("stranded bike should rest at the raw destination, got %v", b.Loc)
 	}
+	// A stranded rider abandons the bike at the raw destination and
+	// never walks the decision's station leg, so the trip must not
+	// contribute to WalkTotal.
+	if rep.WalkTotal != 0 {
+		t.Errorf("stranded trip contributed %v m of walk, want 0", rep.WalkTotal)
+	}
 }
