@@ -1,12 +1,15 @@
 // Command esharing-lint runs the project's static-analysis suite: the
-// seededrand, nowalltime, guardedby, floateq and hotpathalloc analyzers
-// that machine-check the repository's determinism, lock-discipline and
-// hot-path invariants (see DESIGN.md, "Static analysis & invariants").
+// seededrand, nowalltime, guardedby, floateq, hotpathalloc, mapiter,
+// detcallback, chanlock and walerr analyzers that machine-check the
+// repository's determinism, lock-discipline, durability and hot-path
+// invariants (see DESIGN.md, "Static analysis & invariants" and
+// "Determinism analysis").
 //
-// It runs two ways:
+// It runs three ways:
 //
 //	esharing-lint ./...                         # standalone, loads packages itself
 //	go vet -vettool=$(which esharing-lint) ./... # as a vet tool
+//	esharing-lint -waivers [root]                # audit the //esharing:allow budget
 //
 // The vettool mode speaks cmd/go's unit-checking protocol (the same one
 // golang.org/x/tools/go/analysis/unitchecker implements): it answers
@@ -49,6 +52,9 @@ func run(args []string) int {
 			fmt.Println("[]")
 			return 0
 		}
+	}
+	if len(args) > 0 && args[0] == "-waivers" {
+		return runWaivers(args[1:])
 	}
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		return unitCheck(args[0])

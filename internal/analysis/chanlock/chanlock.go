@@ -1,0 +1,562 @@
+// Package chanlock verifies the server's channel-as-lock discipline.
+// The serving layer serialises placements with capacity-bounded
+// channels of struct{} (shard.decision is a capacity-1 mutex,
+// shard.queue an admission semaphore): `ch <- struct{}{}` acquires,
+// `<-ch` releases. Unlike sync.Mutex there is no runtime self-check —
+// a leaked acquisition deadlocks the shard forever and a double release
+// corrupts the semaphore count — so this analyzer proves the pairing
+// statically on every control-flow path:
+//
+//   - every acquisition must be released on every return path, either
+//     by a deferred `func() { <-ch }()` or by an explicit receive
+//     before each return;
+//   - a release without a held acquisition, or an explicit release
+//     while a deferred release is pending, is a double release;
+//   - acquiring a lock already held is self-deadlock;
+//   - branches (if/select/switch) must agree on the lock state where
+//     they re-join, and loop bodies must preserve it;
+//   - panic safety: any call made while a lock is held without a
+//     deferred release is flagged — if the callee panics, the recovery
+//     at the HTTP layer keeps the process alive but the lock is gone
+//     and the shard is dead. Hold-and-call regions must use defer.
+//
+// Lock channels are discovered, not configured: any `chan struct{}`
+// field or variable that production code sends `struct{}{}` into is
+// treated as a lock, matched across functions by its field name.
+package chanlock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/lintkit"
+)
+
+// scope limits the analyzer to the serving layer, the only place the
+// channel-as-lock idiom is used.
+var scope = []string{"repro/internal/server"}
+
+// Analyzer is the chanlock check.
+var Analyzer = &lintkit.Analyzer{
+	Name: "chanlock",
+	Doc: "channel-as-lock acquisitions (ch <- struct{}{}) must pair with releases (<-ch) on " +
+		"every return and panic path; defer-release recognized; flags leaks, double " +
+		"releases, and hold-and-call without defer",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) error {
+	if !lintkit.PathWithinAny(pass.Path, scope...) {
+		return nil
+	}
+	names := lockNames(pass)
+	if len(names) == 0 {
+		return nil
+	}
+	c := &checker{pass: pass, lockNames: names}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		// Deferred release literals (defer func() { <-ch }()) are part of
+		// their enclosing function's protocol, not independent functions.
+		deferLits := map[*ast.FuncLit]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if d, ok := n.(*ast.DeferStmt); ok {
+				if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+					deferLits[lit] = true
+				}
+			}
+			return true
+		})
+		// Every declared function and every other literal is analysed
+		// from an empty lock state: a closure does not inherit its
+		// creator's acquisitions — it runs later, on whatever goroutine
+		// calls it.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					c.checkFunc(n.Body)
+				}
+			case *ast.FuncLit:
+				if !deferLits[n] {
+					c.checkFunc(n.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockNames collects the terminal field/variable names of every
+// `chan struct{}` that production code sends `struct{}{}` into.
+func lockNames(pass *lintkit.Pass) map[string]bool {
+	names := map[string]bool{}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			send, ok := n.(*ast.SendStmt)
+			if !ok {
+				return true
+			}
+			if !isEmptyStructChan(pass.Info, send.Chan) {
+				return true
+			}
+			if name, ok := terminalName(send.Chan); ok {
+				names[name] = true
+			}
+			return true
+		})
+	}
+	return names
+}
+
+// isEmptyStructChan reports whether e has type chan struct{}.
+func isEmptyStructChan(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// terminalName extracts the final identifier of a channel expression
+// ("sh.decision" → "decision"), which identifies the lock across
+// functions regardless of the receiver variable's name.
+func terminalName(e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		return e.Sel.Name, true
+	case *ast.IndexExpr:
+		return terminalName(e.X)
+	}
+	return "", false
+}
+
+type checker struct {
+	pass      *lintkit.Pass
+	lockNames map[string]bool
+}
+
+// lockKey returns the rendered lock expression ("sh.decision") when e
+// denotes a lock channel, "" otherwise.
+func (c *checker) lockKey(e ast.Expr) string {
+	if !isEmptyStructChan(c.pass.Info, e) {
+		return ""
+	}
+	name, ok := terminalName(e)
+	if !ok || !c.lockNames[name] {
+		return ""
+	}
+	return types.ExprString(ast.Unparen(e))
+}
+
+// state is the lock state at one program point.
+type state struct {
+	held     map[string]token.Pos // lock key -> acquisition position
+	deferred map[string]bool      // lock key -> a deferred release is registered
+	flagged  map[string]bool      // hold-and-call already reported for this acquisition
+}
+
+func newState() *state {
+	return &state{held: map[string]token.Pos{}, deferred: map[string]bool{}, flagged: map[string]bool{}}
+}
+
+func (st *state) clone() *state {
+	n := newState()
+	for k, v := range st.held {
+		n.held[k] = v
+	}
+	for k := range st.deferred {
+		n.deferred[k] = true
+	}
+	for k := range st.flagged {
+		n.flagged[k] = true
+	}
+	return n
+}
+
+// sameHeld reports whether two states hold exactly the same locks.
+func sameHeld(a, b *state) bool {
+	if len(a.held) != len(b.held) {
+		return false
+	}
+	for k := range a.held {
+		if _, ok := b.held[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// unprotected returns the held keys with no deferred release, in
+// acquisition order.
+func (st *state) unprotected() []string {
+	var keys []string
+	for k := range st.held {
+		if !st.deferred[k] {
+			keys = append(keys, k)
+		}
+	}
+	// Deterministic order for diagnostics.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && st.held[keys[j]] < st.held[keys[j-1]]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// checkFunc analyses one function body from an empty lock state.
+// Nested function literals that are not deferred releases are analysed
+// independently with their own empty state (a literal does not inherit
+// its creator's acquisitions — it runs later, on whatever goroutine
+// calls it).
+func (c *checker) checkFunc(body *ast.BlockStmt) {
+	st := newState()
+	terminated := c.checkBlock(body.List, st)
+	if !terminated {
+		for _, k := range st.unprotected() {
+			c.pass.Reportf(st.held[k], "%s is still held when the function returns; release it or use defer", k)
+		}
+	}
+}
+
+// checkBlock runs the state machine over a statement list, reporting
+// violations and returning whether control definitely leaves the
+// enclosing function before the list's end.
+func (c *checker) checkBlock(stmts []ast.Stmt, st *state) bool {
+	for _, s := range stmts {
+		if c.checkStmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) checkStmt(s ast.Stmt, st *state) bool {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return c.checkBlock(s.List, st)
+
+	case *ast.SendStmt:
+		// Value and channel expressions evaluate before the send blocks.
+		c.scanCalls(st, s.Chan, s.Value)
+		if key := c.lockKey(s.Chan); key != "" {
+			if pos, ok := st.held[key]; ok {
+				c.pass.Reportf(s.Pos(), "%s acquired while already held (acquired at %s): self-deadlock",
+					key, c.pass.Fset.Position(pos))
+			}
+			st.held[key] = s.Pos()
+		}
+		return false
+
+	case *ast.ExprStmt:
+		if un, ok := ast.Unparen(s.X).(*ast.UnaryExpr); ok && un.Op == token.ARROW {
+			if key := c.lockKey(un.X); key != "" {
+				c.release(st, key, s.Pos())
+				return false
+			}
+		}
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && isPanicCall(c.pass.Info, call) {
+			c.scanCalls(st, exprs(call.Args)...)
+			for _, k := range st.unprotected() {
+				c.pass.Reportf(s.Pos(), "panic while %s is held without a deferred release: the lock leaks", k)
+			}
+			return true
+		}
+		c.scanCalls(st, s.X)
+		return false
+
+	case *ast.AssignStmt:
+		// v := <-lock and v, ok := <-lock are releases.
+		if len(s.Rhs) == 1 {
+			if un, ok := ast.Unparen(s.Rhs[0]).(*ast.UnaryExpr); ok && un.Op == token.ARROW {
+				if key := c.lockKey(un.X); key != "" {
+					c.release(st, key, s.Pos())
+					return false
+				}
+			}
+		}
+		c.scanCalls(st, exprs(s.Rhs, s.Lhs)...)
+		return false
+
+	case *ast.DeferStmt:
+		// Arguments of the deferred call evaluate now.
+		c.scanCalls(st, exprs(s.Call.Args)...)
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			for _, key := range c.releasesIn(lit.Body) {
+				if _, ok := st.held[key]; !ok {
+					c.pass.Reportf(s.Pos(), "deferred release of %s, which is not held here", key)
+					continue
+				}
+				if st.deferred[key] {
+					c.pass.Reportf(s.Pos(), "second deferred release of %s: double release", key)
+					continue
+				}
+				st.deferred[key] = true
+			}
+		}
+		return false
+
+	case *ast.ReturnStmt:
+		c.scanCalls(st, exprs(s.Results)...)
+		for _, k := range st.unprotected() {
+			c.pass.Reportf(s.Pos(), "return while %s is held (acquired at %s) without a release on this path",
+				k, c.pass.Fset.Position(st.held[k]))
+		}
+		return true
+
+	case *ast.BranchStmt:
+		if s.Tok == token.FALLTHROUGH {
+			return false
+		}
+		for _, k := range st.unprotected() {
+			c.pass.Reportf(s.Pos(), "%s branches away while %s is held without a deferred release",
+				s.Tok, k)
+		}
+		return true
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.checkStmt(s.Init, st)
+		}
+		c.scanCalls(st, s.Cond)
+		thenSt := st.clone()
+		thenTerm := c.checkBlock(s.Body.List, thenSt)
+		elseSt := st.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = c.checkStmt(s.Else, elseSt)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			*st = *elseSt
+		case elseTerm:
+			*st = *thenSt
+		default:
+			if !sameHeld(thenSt, elseSt) {
+				c.pass.Reportf(s.Pos(), "lock state differs between branches: one path holds what the other released")
+			}
+			*st = *thenSt
+		}
+		return false
+
+	case *ast.SelectStmt:
+		return c.checkClauses(s.Pos(), s.Body.List, st, false)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.checkStmt(s.Init, st)
+		}
+		c.scanCalls(st, s.Tag)
+		return c.checkClauses(s.Pos(), s.Body.List, st, !hasDefaultClause(s.Body.List))
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.checkStmt(s.Init, st)
+		}
+		return c.checkClauses(s.Pos(), s.Body.List, st, !hasDefaultClause(s.Body.List))
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.checkStmt(s.Init, st)
+		}
+		c.scanCalls(st, s.Cond)
+		if s.Post != nil {
+			c.checkStmt(s.Post, st.clone())
+		}
+		bodySt := st.clone()
+		c.checkBlock(s.Body.List, bodySt)
+		if !sameHeld(bodySt, st) {
+			c.pass.Reportf(s.Pos(), "loop body changes the lock state: locks acquired in an iteration must be released in it")
+		}
+		return false
+
+	case *ast.RangeStmt:
+		c.scanCalls(st, s.X)
+		bodySt := st.clone()
+		c.checkBlock(s.Body.List, bodySt)
+		if !sameHeld(bodySt, st) {
+			c.pass.Reportf(s.Pos(), "loop body changes the lock state: locks acquired in an iteration must be released in it")
+		}
+		return false
+
+	case *ast.LabeledStmt:
+		return c.checkStmt(s.Stmt, st)
+
+	case *ast.GoStmt:
+		// The goroutine runs with its own (empty) lock state; its
+		// argument expressions evaluate now.
+		c.scanCalls(st, exprs(s.Call.Args)...)
+		return false
+
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.EmptyStmt:
+		c.scanCalls(st, s)
+		return false
+
+	default:
+		c.scanCalls(st, s)
+		return false
+	}
+}
+
+// checkClauses analyses select/switch case clauses, each from a clone of
+// the incoming state. fallPast adds the incoming state itself as a
+// survivor (a switch without default may execute no clause). Surviving
+// states must agree on the held set; the first survivor becomes the
+// post-statement state.
+func (c *checker) checkClauses(pos token.Pos, clauses []ast.Stmt, st *state, fallPast bool) bool {
+	var survivors []*state
+	for _, cl := range clauses {
+		cst := st.clone()
+		var term bool
+		switch cl := cl.(type) {
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				c.checkStmt(cl.Comm, cst)
+			}
+			term = c.checkBlock(cl.Body, cst)
+		case *ast.CaseClause:
+			c.scanCalls(cst, exprs(cl.List)...)
+			term = c.checkBlock(cl.Body, cst)
+		default:
+			continue
+		}
+		if !term {
+			survivors = append(survivors, cst)
+		}
+	}
+	if fallPast {
+		survivors = append(survivors, st.clone())
+	}
+	if len(survivors) == 0 {
+		return true
+	}
+	for _, sv := range survivors[1:] {
+		if !sameHeld(survivors[0], sv) {
+			c.pass.Reportf(pos, "lock state differs between branches: one path holds what the other released")
+			break
+		}
+	}
+	*st = *survivors[0]
+	return false
+}
+
+// release applies a `<-lock` receive to the state.
+func (c *checker) release(st *state, key string, pos token.Pos) {
+	if _, ok := st.held[key]; !ok {
+		c.pass.Reportf(pos, "%s released here but not held: double release or stray receive", key)
+		return
+	}
+	if st.deferred[key] {
+		c.pass.Reportf(pos, "%s released explicitly while a deferred release is pending: double release", key)
+	}
+	delete(st.held, key)
+	delete(st.deferred, key)
+	delete(st.flagged, key)
+}
+
+// releasesIn lists the lock keys received from anywhere in a deferred
+// literal's body.
+func (c *checker) releasesIn(body *ast.BlockStmt) []string {
+	var keys []string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if un, ok := n.(*ast.UnaryExpr); ok && un.Op == token.ARROW {
+			if key := c.lockKey(un.X); key != "" {
+				keys = append(keys, key)
+			}
+		}
+		return true
+	})
+	return keys
+}
+
+// scanCalls applies the panic-safety rule: any function call evaluated
+// while a lock is held without a deferred release is reported (once per
+// acquisition). Conversions and builtins cannot panic-with-lock in a
+// way a defer wouldn't also miss, so only real calls count; function
+// literal bodies are skipped — they execute later, under checkFunc's
+// independent analysis.
+func (c *checker) scanCalls(st *state, nodes ...ast.Node) {
+	risky := st.unprotected()
+	if len(risky) == 0 {
+		return
+	}
+	for _, n := range nodes {
+		if n == nil {
+			continue
+		}
+		ast.Inspect(n, func(x ast.Node) bool {
+			if _, ok := x.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if tv, ok := c.pass.Info.Types[call.Fun]; ok && (tv.IsType() || tv.IsBuiltin()) {
+				return true
+			}
+			for _, k := range risky {
+				if st.flagged[k] {
+					continue
+				}
+				st.flagged[k] = true
+				c.pass.Reportf(call.Pos(),
+					"call while %s is held without a deferred release: a panic in the callee leaks the lock; acquire with defer func() { <-%s }()",
+					k, k)
+			}
+			return true
+		})
+	}
+}
+
+// hasDefaultClause reports whether a switch body contains a default
+// case (a CaseClause with an empty expression list).
+func hasDefaultClause(clauses []ast.Stmt) bool {
+	for _, cl := range clauses {
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// isPanicCall reports whether call is the builtin panic.
+func isPanicCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	if tv, ok := info.Types[call.Fun]; ok {
+		return tv.IsBuiltin()
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// exprs flattens expression slices into a []ast.Node for scanCalls.
+func exprs(lists ...[]ast.Expr) []ast.Node {
+	var out []ast.Node
+	for _, l := range lists {
+		for _, e := range l {
+			out = append(out, e)
+		}
+	}
+	return out
+}

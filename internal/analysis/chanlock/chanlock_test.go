@@ -1,0 +1,16 @@
+package chanlock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/chanlock"
+)
+
+// TestLockDiscipline loads the golden shard under the serving layer's
+// import path: leaks, double releases, double acquires, branch
+// disagreements, and hold-and-call regions are flagged, while the
+// defer-release and select-acquire protocols pass.
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, "srv", "repro/internal/server", chanlock.Analyzer)
+}

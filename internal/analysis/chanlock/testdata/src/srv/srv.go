@@ -1,0 +1,132 @@
+// Package srv stubs the serving layer's channel-as-lock discipline for
+// the chanlock analyzer. It is loaded under repro/internal/server; the
+// lock channels (decision, queue) are discovered from the sends below,
+// exactly as in the production shard.
+package srv
+
+import "errors"
+
+var errFail = errors.New("fail")
+
+type shard struct {
+	decision chan struct{}
+	queue    chan struct{}
+	count    int
+}
+
+func work() {}
+
+// --- Correct protocols: all quiet. ---
+
+// goodDefer is the production idiom: acquire, then defer the release so
+// every return and panic path gives the lock back.
+func (sh *shard) goodDefer() {
+	sh.decision <- struct{}{}
+	defer func() { <-sh.decision }()
+	work()
+	sh.count++
+}
+
+// goodExplicit pairs acquire and release explicitly; with no calls in
+// the critical section there is no panic path to leak through.
+func (sh *shard) goodExplicit() {
+	sh.decision <- struct{}{}
+	sh.count++
+	<-sh.decision
+}
+
+// tryPlace mirrors placeLocked: a select acquire with a bail-out arm.
+func (sh *shard) tryPlace(done chan bool) bool {
+	select {
+	case sh.decision <- struct{}{}:
+	case <-done:
+		return false
+	}
+	defer func() { <-sh.decision }()
+	work()
+	return true
+}
+
+// admit mirrors the queue admission gate: non-blocking semaphore grab.
+func (sh *shard) admit() bool {
+	select {
+	case sh.queue <- struct{}{}:
+	default:
+		return false
+	}
+	defer func() { <-sh.queue }()
+	work()
+	return true
+}
+
+// sweep takes each shard's lock inside a helper, one full acquire/
+// release pair per iteration.
+func sweep(shards []*shard) int {
+	total := 0
+	for _, o := range shards {
+		total += o.locked()
+	}
+	return total
+}
+
+func (sh *shard) locked() int {
+	sh.decision <- struct{}{}
+	defer func() { <-sh.decision }()
+	return sh.count
+}
+
+// --- Violations. ---
+
+func (sh *shard) leakOnError(fail bool) error {
+	sh.decision <- struct{}{}
+	if fail {
+		return errFail // want `return while sh\.decision is held`
+	}
+	<-sh.decision
+	return nil
+}
+
+func (sh *shard) leakAtEnd() {
+	sh.decision <- struct{}{} // want `sh\.decision is still held when the function returns`
+	sh.count++
+}
+
+func (sh *shard) doubleRelease() {
+	sh.decision <- struct{}{}
+	defer func() { <-sh.decision }()
+	<-sh.decision // want `released explicitly while a deferred release is pending`
+}
+
+func (sh *shard) strayRelease() {
+	<-sh.decision // want `released here but not held`
+}
+
+func (sh *shard) reacquire() {
+	sh.decision <- struct{}{}
+	defer func() { <-sh.decision }()
+	sh.decision <- struct{}{} // want `acquired while already held`
+}
+
+func (sh *shard) holdAndCall() {
+	sh.decision <- struct{}{}
+	work() // want `call while sh\.decision is held without a deferred release`
+	<-sh.decision
+}
+
+func (sh *shard) branchy(b bool) {
+	sh.decision <- struct{}{}
+	if b { // want `lock state differs between branches`
+		<-sh.decision
+	}
+}
+
+func (sh *shard) loopAcquire(n int) {
+	for i := 0; i < n; i++ { // want `loop body changes the lock state`
+		sh.decision <- struct{}{}
+	}
+}
+
+func (sh *shard) panics() {
+	sh.decision <- struct{}{}
+	panic("boom") // want `panic while sh\.decision is held`
+}

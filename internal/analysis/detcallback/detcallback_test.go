@@ -1,0 +1,17 @@
+package detcallback_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detcallback"
+)
+
+// TestParallelCallbacks loads the golden package under the engine's own
+// import path, so the stub Map/For resolve as parallel entry points.
+// The cases prove the transitive reach: wall-clock and global-rand
+// draws are flagged through helper chains, method values, and map
+// escapes, while seeded streams and collect-then-sort helpers pass.
+func TestParallelCallbacks(t *testing.T) {
+	analysistest.Run(t, "par", "repro/internal/parallel", detcallback.Analyzer)
+}

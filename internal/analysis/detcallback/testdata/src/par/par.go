@@ -1,0 +1,141 @@
+// Package parallel stubs the deterministic fork-join engine's entry
+// points alongside callers that exercise the detcallback analyzer. The
+// directory is loaded under the production import path
+// (repro/internal/parallel), so callee resolution matches the real
+// engine: a closure handed to Map/For must be transitively pure.
+package parallel
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Map mirrors the engine's signature; f runs on worker goroutines.
+func Map(n, workers int, f func(i int) float64) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = f(i)
+	}
+	return out
+}
+
+// For mirrors the engine's parallel loop.
+func For(n, workers int, f func(i int)) {
+	for i := 0; i < n; i++ {
+		f(i)
+	}
+}
+
+// jitter hides the wall-clock read one call away from the callback.
+func jitter() float64 {
+	return float64(time.Now().Nanosecond()) // want `parallel.Map callback must be deterministic: reads the wall clock \(time\.Now\) via jitter`
+}
+
+func viaHelper(n int) []float64 {
+	return Map(n, 4, func(i int) float64 {
+		return jitter() + float64(i)
+	})
+}
+
+// noisy draws from the global source, two helpers below the callback.
+func noisy() float64 {
+	return rand.Float64() // want `parallel.Map callback must be deterministic: draws from the shared global math/rand source \(rand\.Float64\) via indirect → noisy`
+}
+
+func indirect() float64 {
+	return noisy()
+}
+
+func viaTwoHelpers(n int) []float64 {
+	return Map(n, 2, func(i int) float64 {
+		return indirect()
+	})
+}
+
+// sampler reaches the global source through a bound method value.
+type sampler struct {
+	scale float64
+}
+
+func (s sampler) draw() float64 {
+	return rand.ExpFloat64() * s.scale // want `parallel.Map callback must be deterministic: draws from the shared global math/rand source \(rand\.ExpFloat64\) via sampler\.draw`
+}
+
+func viaMethodValue(n int) []float64 {
+	s := sampler{scale: 2}
+	f := s.draw
+	return Map(n, 2, func(i int) float64 {
+		return f()
+	})
+}
+
+// pickAny lets map iteration order escape; reached from a callback it
+// breaks the bit-identical-at-any-worker-count guarantee.
+func pickAny(m map[int]float64) float64 {
+	for _, v := range m {
+		return v // want `parallel.Map callback must be deterministic: lets map iteration order escape \(returns mid-iteration.*via pickAny`
+	}
+	return 0
+}
+
+func viaMapEscape(n int, m map[int]float64) []float64 {
+	return Map(n, 2, func(i int) float64 {
+		return pickAny(m)
+	})
+}
+
+// decide opts into the engine contract explicitly.
+//
+//esharing:deterministic
+func decide() int64 {
+	return time.Now().UnixNano() // want `decide is marked //esharing:deterministic: reads the wall clock \(time\.Now\)`
+}
+
+// --- Deterministic callbacks: all quiet. ---
+
+func pureSum(xs []float64) float64 {
+	var t float64
+	for _, v := range xs {
+		t += v
+	}
+	return t
+}
+
+func viaPure(n int, xs []float64) []float64 {
+	return Map(n, 2, func(i int) float64 {
+		return pureSum(xs) + float64(i)
+	})
+}
+
+// seeded uses a per-index stream: the New* constructors and *rand.Rand
+// methods are deterministic under the seeding discipline.
+func seeded(n int) []float64 {
+	return Map(n, 2, func(i int) float64 {
+		rng := rand.New(rand.NewSource(int64(i)))
+		return rng.Float64()
+	})
+}
+
+// sortedCount ranges over a map inside the callback, but through the
+// collect-then-sort idiom, which does not let the order escape.
+func sortedCount(m map[int]bool) int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return len(keys)
+}
+
+func viaSorted(n int, m map[int]bool) []float64 {
+	return Map(n, 2, func(i int) float64 {
+		return float64(sortedCount(m))
+	})
+}
+
+func pureFor(n int, out []float64) {
+	For(n, 2, func(i int) {
+		out[i] = float64(i) * 0.5
+	})
+}

@@ -1,0 +1,351 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file adds the intra-package call graph the determinism analyzers
+// (mapiter, detcallback) are built on. The graph tracks three kinds of
+// flow the single-function analyzers of PR 3 cannot see:
+//
+//   - direct calls to package-level functions and methods,
+//   - function literals: a closure is a node of its own, and a node that
+//     lexically contains a literal is conservatively assumed to run it
+//     (covers immediately-invoked literals, deferred literals, and
+//     literals handed to library code such as sort.Slice),
+//   - closure variables and method values: `f := func() {...}; f()` and
+//     `h := sh.helper; h()` produce edges to the bound function(s).
+//
+// The graph is intra-package by construction — the same boundary the
+// vettool's unit-checking protocol imposes — so facts about functions in
+// other packages never propagate; the deterministic packages are each
+// analyzed under their own invariants instead. Flow through struct
+// fields, slices, maps and channels of functions is not tracked
+// (documented limitation); the repository does not use those shapes on
+// its deterministic paths.
+
+// FuncNode is one function in a package's call graph: a declared
+// function or method, or a function literal.
+type FuncNode struct {
+	// Name is a display identifier: the declared name for functions and
+	// methods, "function literal" for anonymous functions.
+	Name string
+	// Fn is the declared function's type object; nil for literals.
+	Fn *types.Func
+	// Lit is the literal; nil for declared functions.
+	Lit *ast.FuncLit
+	// Body is the function body; nil for bodyless declarations.
+	Body *ast.BlockStmt
+	// Pos locates the declaration or literal.
+	Pos token.Pos
+	// Calls are the outgoing edges, in source order, deduplicated by
+	// callee.
+	Calls []Edge
+}
+
+// Edge is one call (or conservative contains-relation) in the graph.
+type Edge struct {
+	Callee *FuncNode
+	Pos    token.Pos
+}
+
+// Graph is an intra-package call graph with closure-flow tracking.
+type Graph struct {
+	info  *types.Info
+	Nodes []*FuncNode // declaration order across files
+	byFn  map[*types.Func]*FuncNode
+	byLit map[*ast.FuncLit]*FuncNode
+	// bindings maps local variables to the function nodes that may be
+	// stored in them (from assignments and var declarations).
+	bindings map[types.Object][]*FuncNode
+}
+
+// NewGraph builds the call graph for the pass's package. Test files are
+// excluded, mirroring every analyzer's production-code scope.
+func NewGraph(pass *Pass) *Graph {
+	g := &Graph{
+		info:     pass.Info,
+		byFn:     map[*types.Func]*FuncNode{},
+		byLit:    map[*ast.FuncLit]*FuncNode{},
+		bindings: map[types.Object][]*FuncNode{},
+	}
+	var files []*ast.File
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		files = append(files, f)
+	}
+	// Pass 1: one node per declared function and per function literal.
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				fn, _ := pass.Info.Defs[n.Name].(*types.Func)
+				if fn == nil {
+					return true
+				}
+				node := &FuncNode{Name: declName(n), Fn: fn, Body: n.Body, Pos: n.Pos()}
+				g.byFn[fn] = node
+				g.Nodes = append(g.Nodes, node)
+			case *ast.FuncLit:
+				node := &FuncNode{Name: "function literal", Lit: n, Body: n.Body, Pos: n.Pos()}
+				g.byLit[n] = node
+				g.Nodes = append(g.Nodes, node)
+			}
+			return true
+		})
+	}
+	// Pass 2: closure-variable bindings, iterated to a fixpoint so
+	// chains (g := f; h := g) resolve. The loop is bounded by the
+	// longest chain; real code bottoms out in one or two rounds.
+	for changed := true; changed; {
+		changed = false
+		for _, f := range files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					if len(n.Lhs) != len(n.Rhs) {
+						return true
+					}
+					for i, lhs := range n.Lhs {
+						changed = g.bind(lhs, n.Rhs[i]) || changed
+					}
+				case *ast.ValueSpec:
+					if len(n.Names) != len(n.Values) {
+						return true
+					}
+					for i, name := range n.Names {
+						changed = g.bind(name, n.Values[i]) || changed
+					}
+				}
+				return true
+			})
+		}
+	}
+	// Pass 3: edges. Each node walks its own body only; a nested
+	// literal belongs to its own node but leaves a conservative
+	// contains-edge in the enclosing function.
+	for _, node := range g.Nodes {
+		g.addEdges(node)
+	}
+	return g
+}
+
+// declName renders a function or method declaration's display name.
+func declName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + d.Name.Name
+	}
+	return d.Name.Name
+}
+
+// bind records that lhs (an identifier) may hold the function value rhs
+// evaluates to, reporting whether anything new was learned.
+func (g *Graph) bind(lhs ast.Expr, rhs ast.Expr) bool {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false
+	}
+	obj := g.info.Defs[id]
+	if obj == nil {
+		obj = g.info.Uses[id]
+	}
+	if obj == nil {
+		return false
+	}
+	added := false
+	for _, n := range g.NodesFor(rhs) {
+		if !containsNode(g.bindings[obj], n) {
+			g.bindings[obj] = append(g.bindings[obj], n)
+			added = true
+		}
+	}
+	return added
+}
+
+func containsNode(list []*FuncNode, n *FuncNode) bool {
+	for _, have := range list {
+		if have == n {
+			return true
+		}
+	}
+	return false
+}
+
+// NodesFor resolves a function-valued expression to the graph nodes it
+// may denote: a literal, a declared function or method (including
+// method values), or a closure variable's bound set. nil when the
+// expression cannot be resolved (parameters, interface methods,
+// cross-package functions).
+func (g *Graph) NodesFor(e ast.Expr) []*FuncNode {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		if n := g.byLit[e]; n != nil {
+			return []*FuncNode{n}
+		}
+	case *ast.Ident:
+		if obj := g.info.Uses[e]; obj != nil {
+			if fn, ok := obj.(*types.Func); ok {
+				if n := g.byFn[fn]; n != nil {
+					return []*FuncNode{n}
+				}
+				return nil
+			}
+			return g.bindings[obj]
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := g.info.Uses[e.Sel].(*types.Func); ok {
+			if n := g.byFn[fn]; n != nil {
+				return []*FuncNode{n}
+			}
+		}
+	}
+	return nil
+}
+
+// NodeFor returns the node of a declared function, nil if unknown.
+func (g *Graph) NodeFor(fn *types.Func) *FuncNode {
+	return g.byFn[fn]
+}
+
+// addEdges walks node's body, collecting call edges and contains-edges
+// for nested literals. Nested literal bodies are not descended into —
+// they are their own nodes.
+func (g *Graph) addEdges(node *FuncNode) {
+	if node.Body == nil {
+		return
+	}
+	ast.Inspect(node.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			g.edge(node, g.byLit[n], n.Pos())
+			return false
+		case *ast.CallExpr:
+			for _, callee := range g.NodesFor(n.Fun) {
+				g.edge(node, callee, n.Pos())
+			}
+		}
+		return true
+	})
+}
+
+func (g *Graph) edge(from, to *FuncNode, pos token.Pos) {
+	if to == nil || to == from {
+		return
+	}
+	for _, e := range from.Calls {
+		if e.Callee == to {
+			return
+		}
+	}
+	from.Calls = append(from.Calls, Edge{Callee: to, Pos: pos})
+}
+
+// Fact is a primitive property detected at one site inside one function
+// — "reads the wall clock here", "map order escapes here".
+type Fact struct {
+	Pos     token.Pos
+	Message string
+}
+
+// ReachedFact is a Fact visible from a node through zero or more
+// intra-package calls.
+type ReachedFact struct {
+	Fact
+	// Via is the call chain from the queried node to the function
+	// containing the fact; empty when the fact sits in the node itself.
+	Via []*FuncNode
+}
+
+// Reach returns a memoised query closure: for any node, the facts it
+// can reach transitively through its call edges, deduplicated by site
+// (the first chain discovered is kept; traversal order is source
+// order, so results are deterministic). Recursion is handled
+// conservatively: a cycle's back edge contributes no additional facts.
+func (g *Graph) Reach(local func(*FuncNode) []Fact) func(*FuncNode) []ReachedFact {
+	memo := map[*FuncNode][]ReachedFact{}
+	onStack := map[*FuncNode]bool{}
+	var visit func(n *FuncNode) []ReachedFact
+	visit = func(n *FuncNode) []ReachedFact {
+		if r, ok := memo[n]; ok {
+			return r
+		}
+		if onStack[n] {
+			return nil
+		}
+		onStack[n] = true
+		seen := map[token.Pos]bool{}
+		var out []ReachedFact
+		for _, f := range local(n) {
+			if !seen[f.Pos] {
+				seen[f.Pos] = true
+				out = append(out, ReachedFact{Fact: f})
+			}
+		}
+		for _, e := range n.Calls {
+			for _, rf := range visit(e.Callee) {
+				if seen[rf.Pos] {
+					continue
+				}
+				seen[rf.Pos] = true
+				via := make([]*FuncNode, 0, len(rf.Via)+1)
+				via = append(via, e.Callee)
+				via = append(via, rf.Via...)
+				out = append(out, ReachedFact{Fact: rf.Fact, Via: via})
+			}
+		}
+		onStack[n] = false
+		memo[n] = out
+		return out
+	}
+	return visit
+}
+
+// ViaString renders a reached fact's call chain for diagnostics:
+// " via helper → inner", empty for a direct fact.
+func ViaString(via []*FuncNode) string {
+	if len(via) == 0 {
+		return ""
+	}
+	names := make([]string, len(via))
+	for i, n := range via {
+		names[i] = n.Name
+	}
+	return " via " + strings.Join(names, " → ")
+}
+
+// RangeStmtsOf returns the map/slice range statements directly owned by
+// node — excluding those inside nested function literals, which belong
+// to their own nodes.
+func RangeStmtsOf(node *FuncNode) []*ast.RangeStmt {
+	if node.Body == nil {
+		return nil
+	}
+	var out []*ast.RangeStmt
+	ast.Inspect(node.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit != node.Lit {
+			return false
+		}
+		if rs, ok := n.(*ast.RangeStmt); ok {
+			out = append(out, rs)
+		}
+		return true
+	})
+	return out
+}
+
+// Describe renders a node for error messages, e.g. "Table2Result.Render".
+func (n *FuncNode) Describe() string {
+	return n.Name
+}

@@ -1,9 +1,10 @@
 // Package lintkit is a minimal, dependency-free re-implementation of the
 // golang.org/x/tools/go/analysis surface that the esharing-lint suite
 // needs. The real x/tools module is deliberately not a dependency: the
-// repository builds with the standard library alone, and the five
+// repository builds with the standard library alone, and the nine
 // project analyzers (seededrand, nowalltime, guardedby, floateq,
-// hotpathalloc) only require parsed files, type information and a
+// hotpathalloc, mapiter, detcallback, chanlock, walerr) only require
+// parsed files, type information, an intra-package call graph and a
 // diagnostic sink — all of which the standard library provides.
 //
 // The shapes mirror x/tools on purpose (Analyzer with a Run(*Pass)
@@ -152,10 +153,12 @@ func Run(fset *token.FileSet, files []*ast.File, path string, pkg *types.Package
 }
 
 // collectAllows scans //esharing:allow directives. An allow names one
-// or more analyzers ("//esharing:allow floateq seededrand") and covers
-// the directive's own line plus the following line, so it works both as
-// an end-of-line comment and as a standalone comment above the
-// offending statement.
+// or more analyzers followed by a mandatory justification after a "--"
+// separator ("//esharing:allow floateq seededrand -- why it is safe")
+// and covers the directive's own line plus the following line, so it
+// works both as an end-of-line comment and as a standalone comment
+// above the offending statement. The justification is not optional in
+// practice: `esharing-lint -waivers` fails CI on any allow without one.
 func collectAllows(fset *token.FileSet, files []*ast.File) map[allowKey]bool {
 	allowed := map[allowKey]bool{}
 	for _, f := range files {
@@ -167,6 +170,9 @@ func collectAllows(fset *token.FileSet, files []*ast.File) map[allowKey]bool {
 				}
 				pos := fset.Position(c.Pos())
 				for _, name := range strings.Fields(rest) {
+					if name == "--" {
+						break // everything after is the justification
+					}
 					allowed[allowKey{pos.Filename, pos.Line, name}] = true
 					allowed[allowKey{pos.Filename, pos.Line + 1, name}] = true
 				}

@@ -1,0 +1,481 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file classifies the ways a map iteration's runtime-random order
+// can escape into observable state. It is shared by mapiter (which
+// reports escapes anywhere in the deterministic packages) and
+// detcallback (which treats an escape inside a parallel callback as an
+// impurity fact).
+//
+// An escape is any of:
+//
+//   - returning or breaking out of the loop mid-iteration: whichever
+//     element the runtime served first wins (the firstKey pattern),
+//   - a floating-point or string accumulation into a variable declared
+//     outside the loop: (a+b)+c ≠ a+(b+c) in binary floating point, so
+//     the sum's bits depend on visit order,
+//   - a plain assignment to an outer variable whose right-hand side
+//     mentions the iteration variables: last writer wins, and the last
+//     iteration is random (covers argmin/argmax selections),
+//   - appending iteration-derived values to an outer slice that is not
+//     subsequently passed to a standard-library sort in the enclosing
+//     function (the collect-then-sort idiom stays quiet),
+//   - writing iteration-derived values to output (fmt print family,
+//     io Write/WriteString methods, or an intra-package helper that
+//     transitively writes output) or sending them on a channel.
+//
+// Deliberately quiet: integer/boolean accumulations (order-free),
+// writes indexed by the iteration key (m2[k] = v, xs[k] = v — the
+// destination is keyed, not ordered), delete, and variables declared
+// inside the loop body.
+
+// MapEscape is one order-escape site within a map range statement.
+type MapEscape struct {
+	Pos  token.Pos
+	What string
+}
+
+// MapRangeEscapes classifies rs. enclBody is the body of the function
+// owning the statement (used to look for sorts after the loop).
+// outputWriter, when non-nil, reports whether a same-package function
+// transitively writes formatted output; nil disables the transitive
+// check. Returns nil when rs does not range over a map.
+func MapRangeEscapes(info *types.Info, rs *ast.RangeStmt, enclBody *ast.BlockStmt, outputWriter func(*types.Func) bool) []MapEscape {
+	tv, ok := info.Types[rs.X]
+	if !ok {
+		return nil
+	}
+	if _, ok := tv.Type.Underlying().(*types.Map); !ok {
+		return nil
+	}
+	s := &mapEscapeScan{
+		info:         info,
+		rs:           rs,
+		rangeObjs:    map[types.Object]bool{},
+		bodyLabels:   map[string]bool{},
+		outputWriter: outputWriter,
+	}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				s.rangeObjs[obj] = true
+			}
+		}
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if l, ok := n.(*ast.LabeledStmt); ok {
+			s.bodyLabels[l.Label.Name] = true
+		}
+		return true
+	})
+	s.scanStmts(rs.Body.List, 0, false)
+	s.resolveAppends(enclBody)
+	return s.escapes
+}
+
+type mapEscapeScan struct {
+	info         *types.Info
+	rs           *ast.RangeStmt
+	rangeObjs    map[types.Object]bool
+	bodyLabels   map[string]bool
+	outputWriter func(*types.Func) bool
+	escapes      []MapEscape
+	appends      []appendSite
+}
+
+// appendSite is an `outer = append(outer, ...)` with iteration-derived
+// arguments, pending the after-loop sort check.
+type appendSite struct {
+	pos token.Pos
+	obj types.Object // root object of the appended-to expression
+	key string       // rendered target for the diagnostic
+}
+
+func (s *mapEscapeScan) escape(pos token.Pos, what string) {
+	s.escapes = append(s.escapes, MapEscape{Pos: pos, What: what})
+}
+
+// usesRangeVars reports whether any iteration variable appears in e.
+func (s *mapEscapeScan) usesRangeVars(e ast.Node) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := s.info.Uses[id]; obj != nil && s.rangeObjs[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// outerObj returns the object behind an identifier declared outside the
+// range statement, nil for loop-locals, blanks and non-identifiers.
+func (s *mapEscapeScan) outerObj(id *ast.Ident) types.Object {
+	obj := s.info.Uses[id]
+	if obj == nil {
+		obj = s.info.Defs[id]
+	}
+	if obj == nil || obj.Pos() == token.NoPos {
+		return nil
+	}
+	if obj.Pos() >= s.rs.Pos() && obj.Pos() < s.rs.End() {
+		return nil
+	}
+	return obj
+}
+
+// lhsTarget decomposes an assignment target: the root identifier's
+// object if the target is an identifier or selector chain rooted at
+// one, plus whether the target involves indexing (keyed writes are
+// order-free destinations).
+func (s *mapEscapeScan) lhsTarget(e ast.Expr) (obj types.Object, key string, indexed bool) {
+	key = types.ExprString(e)
+	for {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return s.outerObj(t), key, indexed
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			indexed = true
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		default:
+			return nil, key, indexed
+		}
+	}
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// scanStmts walks a statement list. brk counts breakable constructs
+// between the map range body and the statement (0 = a bare break exits
+// the map range). inLit marks statements inside a nested function
+// literal, where return no longer exits the iteration.
+func (s *mapEscapeScan) scanStmts(stmts []ast.Stmt, brk int, inLit bool) {
+	for _, st := range stmts {
+		s.scanStmt(st, brk, inLit)
+	}
+}
+
+func (s *mapEscapeScan) scanStmt(st ast.Stmt, brk int, inLit bool) {
+	switch st := st.(type) {
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			s.scanExpr(r)
+		}
+		if !inLit {
+			s.escape(st.Pos(), "returns mid-iteration, so whichever entry the runtime served first wins")
+		}
+	case *ast.BranchStmt:
+		if st.Tok != token.BREAK || inLit {
+			return
+		}
+		if st.Label == nil {
+			if brk == 0 {
+				s.escape(st.Pos(), "breaks mid-iteration, so whichever entry the runtime served first wins")
+			}
+			return
+		}
+		if !s.bodyLabels[st.Label.Name] {
+			s.escape(st.Pos(), "breaks mid-iteration, so whichever entry the runtime served first wins")
+		}
+	case *ast.AssignStmt:
+		s.scanAssign(st)
+	case *ast.SendStmt:
+		s.scanExpr(st.Chan)
+		s.scanExpr(st.Value)
+		if s.usesRangeVars(st.Value) || s.usesRangeVars(st.Chan) {
+			s.escape(st.Pos(), "sends iteration-derived values on a channel in map order")
+		}
+	case *ast.ExprStmt:
+		s.scanExpr(st.X)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.scanStmt(st.Init, brk, inLit)
+		}
+		s.scanExpr(st.Cond)
+		s.scanStmts(st.Body.List, brk, inLit)
+		if st.Else != nil {
+			s.scanStmt(st.Else, brk, inLit)
+		}
+	case *ast.BlockStmt:
+		s.scanStmts(st.List, brk, inLit)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.scanStmt(st.Init, brk, inLit)
+		}
+		if st.Cond != nil {
+			s.scanExpr(st.Cond)
+		}
+		if st.Post != nil {
+			s.scanStmt(st.Post, brk, inLit)
+		}
+		s.scanStmts(st.Body.List, brk+1, inLit)
+	case *ast.RangeStmt:
+		s.scanExpr(st.X)
+		s.scanStmts(st.Body.List, brk+1, inLit)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s.scanStmt(st.Init, brk, inLit)
+		}
+		if st.Tag != nil {
+			s.scanExpr(st.Tag)
+		}
+		s.scanStmts(st.Body.List, brk+1, inLit)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			s.scanStmt(st.Init, brk, inLit)
+		}
+		s.scanStmt(st.Assign, brk, inLit)
+		s.scanStmts(st.Body.List, brk+1, inLit)
+	case *ast.SelectStmt:
+		s.scanStmts(st.Body.List, brk+1, inLit)
+	case *ast.CaseClause:
+		for _, e := range st.List {
+			s.scanExpr(e)
+		}
+		s.scanStmts(st.Body, brk, inLit)
+	case *ast.CommClause:
+		if st.Comm != nil {
+			s.scanStmt(st.Comm, brk, inLit)
+		}
+		s.scanStmts(st.Body, brk, inLit)
+	case *ast.LabeledStmt:
+		s.scanStmt(st.Stmt, brk, inLit)
+	case *ast.DeferStmt:
+		s.scanExpr(st.Call)
+	case *ast.GoStmt:
+		s.scanExpr(st.Call)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						s.scanExpr(v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// scanAssign applies the accumulation / last-wins / append rules.
+func (s *mapEscapeScan) scanAssign(st *ast.AssignStmt) {
+	for _, r := range st.Rhs {
+		s.scanExpr(r)
+	}
+	if st.Tok == token.DEFINE {
+		// New loop-locals; nothing escapes at the declaration itself.
+		// (A := that re-assigns an outer variable in the same block is
+		// impossible: short declarations only redeclare within their
+		// own block.)
+		return
+	}
+	for i, lhs := range st.Lhs {
+		obj, key, indexed := s.lhsTarget(lhs)
+		if obj == nil || indexed {
+			continue // loop-local, blank, or keyed write
+		}
+		var rhs ast.Expr
+		if len(st.Lhs) == len(st.Rhs) {
+			rhs = st.Rhs[i]
+		} else if len(st.Rhs) == 1 {
+			rhs = st.Rhs[0]
+		}
+		switch st.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			t := s.info.TypeOf(lhs)
+			if t == nil {
+				continue
+			}
+			if isFloat(t) {
+				s.escape(st.Pos(), "accumulates floating point into "+key+" in map order (float addition is not associative)")
+			} else if isString(t) && st.Tok == token.ADD_ASSIGN && rhs != nil && s.usesRangeVars(rhs) {
+				s.escape(st.Pos(), "concatenates onto "+key+" in map order")
+			}
+		case token.ASSIGN:
+			if rhs == nil || !s.usesRangeVars(rhs) {
+				continue // e.g. found = true — order-free
+			}
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isAppendTo(call, lhs) {
+				s.appends = append(s.appends, appendSite{pos: st.Pos(), obj: obj, key: key})
+				continue
+			}
+			t := s.info.TypeOf(lhs)
+			if t != nil && isFloat(t) && mentionsTarget(rhs, key) {
+				s.escape(st.Pos(), "accumulates floating point into "+key+" in map order (float addition is not associative)")
+				continue
+			}
+			s.escape(st.Pos(), "assigns an iteration-derived value to "+key+", so the last (random) iteration wins")
+		}
+	}
+}
+
+// isAppendTo reports whether call is append(target, ...).
+func isAppendTo(call *ast.CallExpr, target ast.Expr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return false
+	}
+	return types.ExprString(call.Args[0]) == types.ExprString(target)
+}
+
+// mentionsTarget reports whether expr's rendering mentions the target —
+// the x = x + v accumulation shape.
+func mentionsTarget(e ast.Expr, key string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if x, ok := n.(ast.Expr); ok && types.ExprString(x) == key {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// scanExpr looks inside an expression for output calls and nested
+// literals. Literals are scanned with return/break rules disabled but
+// everything else live — a closure built per-iteration still sees the
+// iteration variables.
+func (s *mapEscapeScan) scanExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			s.scanStmts(n.Body.List, 0, true)
+			return false
+		case *ast.CallExpr:
+			s.scanCall(n)
+		}
+		return true
+	})
+}
+
+// scanCall flags calls that push iteration-derived values into output.
+func (s *mapEscapeScan) scanCall(call *ast.CallExpr) {
+	argsUseRange := false
+	for _, a := range call.Args {
+		if s.usesRangeVars(a) {
+			argsUseRange = true
+			break
+		}
+	}
+	if !argsUseRange {
+		return
+	}
+	if fn := FuncOf(s.info, call); fn != nil {
+		if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" && isPrintName(fn.Name()) {
+			s.escape(call.Pos(), "writes iteration-derived values to output in map order")
+			return
+		}
+		if s.outputWriter != nil && s.outputWriter(fn) {
+			s.escape(call.Pos(), "passes iteration-derived values to "+fn.Name()+", which writes output, in map order")
+			return
+		}
+		if fn.Pkg() != nil && isWriteName(fn.Name()) && fn.Type().(*types.Signature).Recv() != nil {
+			s.escape(call.Pos(), "writes iteration-derived values via "+fn.Name()+" in map order")
+		}
+	}
+}
+
+// isPrintName matches the fmt functions that write to a stream; the
+// Sprint family returns a string and is covered by the assignment rules
+// on whatever the result lands in.
+func isPrintName(name string) bool {
+	switch name {
+	case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+		return true
+	}
+	return false
+}
+
+// isWriteName matches byte-sink methods (strings.Builder, bytes.Buffer,
+// io.Writer implementations).
+func isWriteName(name string) bool {
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		return true
+	}
+	return false
+}
+
+// resolveAppends checks each pending append target for a recognized
+// standard-library sort after the loop, anywhere later in the enclosing
+// body, and reports the ones never sorted.
+func (s *mapEscapeScan) resolveAppends(enclBody *ast.BlockStmt) {
+	for _, site := range s.appends {
+		if enclBody != nil && sortedAfter(s.info, enclBody, s.rs.End(), site.obj) {
+			continue
+		}
+		s.escape(site.pos, "collects iteration-derived values into "+site.key+" but never passes it to a standard-library sort afterwards")
+	}
+}
+
+// sortedAfter reports whether obj is passed to a sort.*/slices.Sort*
+// call positioned after pos within body. Matching is by root object, so
+// wrappers like sort.Sort(sort.Reverse(sort.IntSlice(xs))) count.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		fn := FuncOf(info, call)
+		if fn == nil || fn.Pkg() == nil || !isSortFunc(fn.Pkg().Path(), fn.Name()) {
+			return true
+		}
+		for _, a := range call.Args {
+			ast.Inspect(a, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && info.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// isSortFunc recognizes the standard-library sorting entry points the
+// collect-then-sort idiom may use.
+func isSortFunc(pkgPath, name string) bool {
+	switch pkgPath {
+	case "sort":
+		switch name {
+		case "Ints", "Strings", "Float64s", "Sort", "Stable", "Slice", "SliceStable":
+			return true
+		}
+	case "slices":
+		switch name {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,107 @@
+// Package mapiter flags map iterations in the deterministic packages
+// whose runtime-random order can escape into observable state: output
+// written mid-loop, slices collected but never sorted, first-wins
+// selections (return/break mid-iteration), last-wins assignments, and
+// floating-point accumulations. The collect-then-sort idiom — append
+// keys inside the loop, pass the slice to a standard-library sort after
+// it — is recognized and stays quiet, as do keyed writes (m2[k] = v),
+// integer counts, and boolean flags, all of which are order-free.
+//
+// The classification itself lives in lintkit.MapRangeEscapes; this
+// analyzer supplies the package scope and the transitive output-writer
+// query (a loop that feeds an intra-package helper which eventually
+// calls fmt.Fprintf escapes just as surely as one calling it directly).
+package mapiter
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/lintkit"
+)
+
+// deterministicPkgs are the packages whose outputs must be a pure
+// function of (seed, inputs) — DESIGN.md §§9–11.
+var deterministicPkgs = []string{
+	"repro/internal/core",
+	"repro/internal/sim",
+	"repro/internal/forecast",
+	"repro/internal/stats",
+	"repro/internal/experiments",
+	"repro/internal/incentive",
+	"repro/internal/parallel",
+	"repro/internal/wal",
+}
+
+// Analyzer is the mapiter check.
+var Analyzer = &lintkit.Analyzer{
+	Name: "mapiter",
+	Doc: "flag map iterations in deterministic packages whose order escapes into output, " +
+		"unsorted slices, first-wins selections, or float accumulations; " +
+		"the collect-then-sort idiom is recognized",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) error {
+	if !lintkit.PathWithinAny(pass.Path, deterministicPkgs...) {
+		return nil
+	}
+	g := lintkit.NewGraph(pass)
+	writesOutput := outputWriters(pass, g)
+	outputWriter := func(fn *types.Func) bool {
+		n := g.NodeFor(fn)
+		return n != nil && writesOutput[n]
+	}
+	for _, node := range g.Nodes {
+		for _, rs := range lintkit.RangeStmtsOf(node) {
+			for _, esc := range lintkit.MapRangeEscapes(pass.Info, rs, node.Body, outputWriter) {
+				pass.Reportf(esc.Pos, "map iteration order is runtime-random: %s", esc.What)
+			}
+		}
+	}
+	return nil
+}
+
+// outputWriters computes the nodes that transitively write formatted
+// output (fmt print family or io-style Write methods), so the escape
+// classifier can see through helpers like the experiments fprintf
+// wrapper.
+func outputWriters(pass *lintkit.Pass, g *lintkit.Graph) map[*lintkit.FuncNode]bool {
+	reach := g.Reach(func(n *lintkit.FuncNode) []lintkit.Fact {
+		var facts []lintkit.Fact
+		if n.Body == nil {
+			return nil
+		}
+		ast.Inspect(n.Body, func(x ast.Node) bool {
+			if lit, ok := x.(*ast.FuncLit); ok && lit != n.Lit {
+				return false
+			}
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lintkit.FuncOf(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			name := fn.Name()
+			isFmtPrint := fn.Pkg().Path() == "fmt" &&
+				(name == "Print" || name == "Printf" || name == "Println" ||
+					name == "Fprint" || name == "Fprintf" || name == "Fprintln")
+			isWriteMethod := fn.Type().(*types.Signature).Recv() != nil &&
+				(name == "Write" || name == "WriteString" || name == "WriteByte" || name == "WriteRune")
+			if isFmtPrint || isWriteMethod {
+				facts = append(facts, lintkit.Fact{Pos: call.Pos(), Message: "writes output"})
+			}
+			return true
+		})
+		return facts
+	})
+	set := map[*lintkit.FuncNode]bool{}
+	for _, n := range g.Nodes {
+		if len(reach(n)) > 0 {
+			set[n] = true
+		}
+	}
+	return set
+}

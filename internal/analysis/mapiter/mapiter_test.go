@@ -1,0 +1,21 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/mapiter"
+)
+
+// TestDeterministicPackage loads the golden package under a
+// deterministic import path: every order-escape shape is flagged and
+// the collect-then-sort / keyed-write / counter idioms stay quiet.
+func TestDeterministicPackage(t *testing.T) {
+	analysistest.Run(t, "det", "repro/internal/sim", mapiter.Analyzer)
+}
+
+// TestServerPackageExempt loads first-wins selections under the serving
+// layer's path, which is outside the deterministic scope.
+func TestServerPackageExempt(t *testing.T) {
+	analysistest.Run(t, "srv", "repro/internal/server", mapiter.Analyzer)
+}

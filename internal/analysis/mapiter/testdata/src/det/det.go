@@ -1,0 +1,194 @@
+// Package det exercises the mapiter analyzer. It is loaded under a
+// deterministic import path (repro/internal/sim), so every way a map
+// iteration's order can escape is flagged, while the collect-then-sort
+// idiom and the order-free patterns stay quiet.
+package det
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// firstKey is the canonical first-wins selection: whichever entry the
+// runtime happens to serve first becomes the answer.
+func firstKey(m map[int]float64) int {
+	for k := range m {
+		return k // want `returns mid-iteration`
+	}
+	return -1
+}
+
+func anyKey(m map[int]bool) int {
+	k := -1
+	for key := range m {
+		k = key // want `assigns an iteration-derived value to k`
+		break   // want `breaks mid-iteration`
+	}
+	return k
+}
+
+func sumFloats(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `accumulates floating point into total`
+	}
+	return total
+}
+
+func argmax(m map[int]float64) int {
+	best := -1
+	bestV := 0.0
+	for k, v := range m {
+		if v > bestV {
+			bestV = v // want `assigns an iteration-derived value to bestV`
+			best = k  // want `assigns an iteration-derived value to best`
+		}
+	}
+	return best
+}
+
+func concat(m map[int]string) string {
+	out := ""
+	for _, v := range m {
+		out += v // want `concatenates onto out`
+	}
+	return out
+}
+
+func unsortedKeys(m map[int]bool) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want `never passes it to a standard-library sort`
+	}
+	return keys
+}
+
+// handSorted orders the collected keys, but with a hand-rolled
+// insertion sort the analyzer does not recognize.
+func handSorted(m map[int]bool) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want `never passes it to a standard-library sort`
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// sortBefore sorts the slice, but before the loop — the append still
+// lands in map order.
+func sortBefore(m map[int]bool, keys []int) []int {
+	sort.Ints(keys)
+	for k := range m {
+		keys = append(keys, k) // want `never passes it to a standard-library sort`
+	}
+	return keys
+}
+
+func dump(m map[int]float64) {
+	for k, v := range m {
+		fmt.Printf("%d=%v\n", k, v) // want `writes iteration-derived values to output`
+	}
+}
+
+// emit is an intra-package output helper; feeding it from a map loop
+// escapes just as surely as calling fmt directly.
+func emit(s string) {
+	fmt.Println(s)
+}
+
+func dumpVia(m map[int]string) {
+	for _, v := range m {
+		emit(v) // want `passes iteration-derived values to emit, which writes output`
+	}
+}
+
+func joinKeys(m map[string]bool) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `writes iteration-derived values via WriteString`
+	}
+	return b.String()
+}
+
+func stream(m map[int]int, ch chan int) {
+	for k := range m {
+		ch <- k // want `sends iteration-derived values on a channel`
+	}
+}
+
+// closureSum accumulates through a per-iteration closure; the escape
+// rules still apply inside the literal.
+func closureSum(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m {
+		add := func() {
+			total += v // want `accumulates floating point into total`
+		}
+		add()
+	}
+	return total
+}
+
+// --- Order-free patterns: all quiet. ---
+
+// sortedKeys is the canonical collect-then-sort idiom.
+func sortedKeys(m map[int]bool) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// descKeys sorts through the sort.Sort/Reverse wrappers.
+func descKeys(m map[int]bool) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(keys)))
+	return keys
+}
+
+func countBikes(m map[int][]int64) int {
+	total := 0
+	for _, ids := range m {
+		total += len(ids)
+	}
+	return total
+}
+
+func invert(m map[int]string) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func contains(m map[int]bool, want int) bool {
+	found := false
+	for k := range m {
+		if k == want {
+			found = true
+		}
+	}
+	return found
+}
+
+func locals(m map[int]float64) int {
+	n := 0
+	for _, v := range m {
+		scaled := v * 2
+		if scaled > 1 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,20 @@
+// Package srv is loaded under repro/internal/server, which is outside
+// the deterministic scope: the serving layer may pick arbitrary map
+// entries (e.g. draining a set of ready shards), so nothing here is
+// flagged.
+package srv
+
+func firstReady(ready map[int]bool) int {
+	for i := range ready {
+		return i
+	}
+	return -1
+}
+
+func drain(pending map[int]float64) float64 {
+	var total float64
+	for _, v := range pending {
+		total += v
+	}
+	return total
+}

@@ -3,12 +3,16 @@
 package registry
 
 import (
+	"repro/internal/analysis/chanlock"
+	"repro/internal/analysis/detcallback"
 	"repro/internal/analysis/floateq"
 	"repro/internal/analysis/guardedby"
 	"repro/internal/analysis/hotpathalloc"
 	"repro/internal/analysis/lintkit"
+	"repro/internal/analysis/mapiter"
 	"repro/internal/analysis/nowalltime"
 	"repro/internal/analysis/seededrand"
+	"repro/internal/analysis/walerr"
 )
 
 // All returns the full esharing-lint analyzer suite.
@@ -19,5 +23,9 @@ func All() []*lintkit.Analyzer {
 		guardedby.Analyzer,
 		floateq.Analyzer,
 		hotpathalloc.Analyzer,
+		mapiter.Analyzer,
+		detcallback.Analyzer,
+		chanlock.Analyzer,
+		walerr.Analyzer,
 	}
 }

@@ -1,0 +1,106 @@
+// Package srv stubs the serving layer's durability surface for the
+// walerr analyzer. It is loaded under repro/internal/server, so the
+// local Log type stands in for wal.Log and the shard fields carry the
+// degradation-latching contract.
+package srv
+
+// Log stands in for the wal.Log; the analyzer matches its methods by
+// receiver type name within the package under analysis.
+type Log struct{}
+
+func (l *Log) AppendDecision(v int) error { return nil }
+func (l *Log) Sync() error                { return nil }
+func (l *Log) Close() error               { return nil }
+func (l *Log) WriteSnapshot() error       { return nil }
+
+type shard struct {
+	decision    chan struct{}
+	wal         *Log
+	walFailed   bool
+	walFailures int64
+}
+
+// --- Correct flows: all quiet. ---
+
+// logDecision mirrors the production pattern: the failure latches into
+// the degradation flags before the response releases.
+// The caller holds decision.
+func (sh *shard) logDecision(v int) {
+	err := sh.wal.AppendDecision(v)
+	if err != nil {
+		sh.walFailures++
+		sh.walFailed = true
+	}
+}
+
+// snapshotLocked acquires the decision lock itself and propagates.
+func (sh *shard) snapshotLocked() error {
+	sh.decision <- struct{}{}
+	defer func() { <-sh.decision }()
+	return sh.wal.WriteSnapshot()
+}
+
+// closeAll consumes the close error explicitly.
+func (sh *shard) closeAll() error {
+	if err := sh.wal.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// --- Violations. ---
+
+// dropped loses the append result entirely; caller holds decision.
+func (sh *shard) dropped(v int) {
+	sh.wal.AppendDecision(v) // want `error from wal\.AppendDecision is dropped`
+}
+
+// blanked discards it explicitly; caller holds decision.
+func (sh *shard) blanked(v int) {
+	_ = sh.wal.AppendDecision(v) // want `error from wal\.AppendDecision is assigned to _`
+}
+
+// shadowed overwrites the append error with the sync error before
+// anyone reads it; caller holds decision.
+func (sh *shard) shadowed(v int) {
+	err := sh.wal.AppendDecision(v) // want `overwritten before it is checked`
+	err = sh.wal.Sync()
+	if err != nil {
+		sh.walFailed = true
+	}
+}
+
+// ignored assigns the append error into a variable that is never
+// consulted again; caller holds decision.
+func (sh *shard) ignored(v int) error {
+	err := sh.wal.Sync()
+	if err != nil {
+		return err
+	}
+	err = sh.wal.AppendDecision(v) // want `assigned but never consulted`
+	sh.walFailed = true
+	return nil
+}
+
+// unlatched propagates, but runs the append outside the decision lock.
+func (sh *shard) unlatched(v int) error {
+	return sh.wal.AppendDecision(v) // want `must run under the decision lock`
+}
+
+// noLatch checks the error but neither returns it nor flips the
+// degradation flags; caller holds decision.
+func (sh *shard) noLatch(v int) {
+	if err := sh.wal.AppendDecision(v); err != nil { // want `neither returned nor latched`
+		println("append failed")
+	}
+}
+
+// deferredClose hands the error to defer, where it evaporates.
+func (sh *shard) deferredClose() {
+	defer sh.wal.Close() // want `deferred wal\.Close discards its error`
+}
+
+// async pushes the append off the request path; caller holds decision.
+func (sh *shard) async(v int) {
+	go sh.wal.AppendDecision(v) // want `discarded by go`
+}

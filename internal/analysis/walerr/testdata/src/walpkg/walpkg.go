@@ -1,0 +1,36 @@
+// Package wal stubs the log implementation for the walerr analyzer's
+// raw-file rules: inside repro/internal/wal the *os.File Write/Sync/
+// Truncate errors are durability-bearing (Close stays exempt as the
+// error-path cleanup idiom), while the latching contract does not apply
+// — these methods ARE the implementation.
+package wal
+
+import "os"
+
+type Log struct {
+	f *os.File
+}
+
+func (l *Log) Sync() error { return l.f.Sync() }
+
+// writeFrame consumes every error: quiet.
+func writeFrame(f *os.File, b []byte) error {
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+func sloppy(f *os.File, b []byte) {
+	f.Write(b) // want `error from File\.Write is dropped`
+	f.Sync()   // want `error from File\.Sync is dropped`
+	f.Close()  // quiet: Close is the error-path cleanup idiom
+}
+
+func truncSloppy(f *os.File) {
+	f.Truncate(0) // want `error from File\.Truncate is dropped`
+}
+
+func flush(l *Log) {
+	l.Sync() // want `error from wal\.Sync is dropped`
+}

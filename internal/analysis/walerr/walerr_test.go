@@ -1,0 +1,20 @@
+package walerr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/walerr"
+)
+
+// TestServingLayer covers the wal.Log method rules and the latching
+// contract under the serving layer's import path.
+func TestServingLayer(t *testing.T) {
+	analysistest.Run(t, "srv", "repro/internal/server", walerr.Analyzer)
+}
+
+// TestWALInternals covers the raw *os.File rules inside the log
+// implementation, where the latching contract does not apply.
+func TestWALInternals(t *testing.T) {
+	analysistest.Run(t, "walpkg", "repro/internal/wal", walerr.Analyzer)
+}

@@ -66,7 +66,7 @@ func AssignCapacitated(p *Problem, open []int, capacity []float64) (*Solution, C
 			regret := c2 - c1 // +Inf when only one feasible station remains
 			// Exact tie on the regret deliberately falls through to the
 			// cheaper assignment, keeping the heuristic deterministic.
-			if bestJ < 0 || regret > bestRegret || (regret == bestRegret && c1 < bestCost) { //esharing:allow floateq
+			if bestJ < 0 || regret > bestRegret || (regret == bestRegret && c1 < bestCost) { //esharing:allow floateq -- exact tie falls to the cheaper assignment
 				bestJ, bestRegret, bestCost, bestK = j, regret, c1, k1
 			}
 		}

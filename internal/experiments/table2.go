@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"time"
 
 	"repro/internal/dataset"
@@ -188,26 +189,22 @@ func RunTable2(cfg Table2Config) (*Table2Result, error) {
 	return res, nil
 }
 
-// Render writes the Table II grids.
+// Render writes the Table II grids. Row and column sets are the sorted
+// unions of the grid keys — never the keys of one arbitrary map entry —
+// so the layout cannot depend on map iteration order and cannot
+// misalign columns if inner maps ever diverge.
 func (r *Table2Result) Render(w io.Writer) {
 	fprintf(w, "Table II — RMSE of prediction algorithms (walk-forward, multi-hour horizon)\n")
 	rule(w, 72)
 	fprintf(w, "LSTM (rows: layers, cols: back)\n")
-	var backs []int
-	for back := range r.LSTM[firstKey(r.LSTM)] {
-		backs = append(backs, back)
-	}
-	sortDesc(backs)
+	backs := sortedInnerKeys(r.LSTM)
+	sort.Sort(sort.Reverse(sort.IntSlice(backs)))
 	fprintf(w, "%8s", "")
 	for _, b := range backs {
 		fprintf(w, " back=%-5d", b)
 	}
 	fprintf(w, "\n")
-	var layers []int
-	for l := range r.LSTM {
-		layers = append(layers, l)
-	}
-	sortAsc(layers)
+	layers := sortedKeys(r.LSTM)
 	for _, l := range layers {
 		fprintf(w, "%d-layer ", l)
 		for _, b := range backs {
@@ -216,25 +213,13 @@ func (r *Table2Result) Render(w io.Writer) {
 		fprintf(w, "\n")
 	}
 	fprintf(w, "MA\n")
-	var wzs []int
-	for wz := range r.MA {
-		wzs = append(wzs, wz)
-	}
-	sortAsc(wzs)
+	wzs := sortedKeys(r.MA)
 	for _, wz := range wzs {
 		fprintf(w, "  wz=%d: %.1f\n", wz, r.MA[wz])
 	}
 	fprintf(w, "ARIMA (rows: d, cols: p)\n")
-	var ds []int
-	for d := range r.ARIMA {
-		ds = append(ds, d)
-	}
-	sortAsc(ds)
-	var ps []int
-	for p := range r.ARIMA[ds[0]] {
-		ps = append(ps, p)
-	}
-	sortAsc(ps)
+	ds := sortedKeys(r.ARIMA)
+	ps := sortedInnerKeys(r.ARIMA)
 	fprintf(w, "%6s", "")
 	for _, p := range ps {
 		fprintf(w, " p=%-7d", p)
@@ -255,26 +240,31 @@ func (r *Table2Result) Render(w io.Writer) {
 		r.ImprovementPct)
 }
 
-func firstKey(m map[int]map[int]float64) int {
+// sortedKeys returns a map's keys in ascending order.
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
 	for k := range m {
-		return k
+		keys = append(keys, k)
 	}
-	return 0
+	sort.Ints(keys)
+	return keys
 }
 
-func sortAsc(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
+// sortedInnerKeys returns the ascending union of a grid's inner-map
+// keys, so a column set derived from it covers every row.
+func sortedInnerKeys(grid map[int]map[int]float64) []int {
+	seen := map[int]bool{}
+	var keys []int
+	for _, row := range grid {
+		for k := range row {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
 		}
 	}
-}
-
-func sortDesc(xs []int) {
-	sortAsc(xs)
-	for lo, hi := 0, len(xs)-1; lo < hi; lo, hi = lo+1, hi-1 {
-		xs[lo], xs[hi] = xs[hi], xs[lo]
-	}
+	sort.Ints(keys)
+	return keys
 }
 
 // Fig8Config parameterises the actual-vs-predicted series figure.

@@ -18,7 +18,7 @@ func AlmostEqual(a, b, eps float64) bool {
 	if eps <= 0 {
 		eps = Eps
 	}
-	if a == b { //esharing:allow floateq
+	if a == b { //esharing:allow floateq -- fast path; handles equal infinities
 		return true // fast path, also handles equal infinities
 	}
 	diff := math.Abs(a - b)

@@ -53,10 +53,10 @@ func (t *KDTree) build(order []int32, depth uint8) int32 {
 		// total order over the stored coordinates, and epsilon
 		// tie-breaking would make it intransitive.
 		if axis == 0 {
-			if pa.X != pb.X { //esharing:allow floateq
+			if pa.X != pb.X { //esharing:allow floateq -- sort key needs an exact total order
 				return pa.X < pb.X
 			}
-		} else if pa.Y != pb.Y { //esharing:allow floateq
+		} else if pa.Y != pb.Y { //esharing:allow floateq -- sort key needs an exact total order
 			return pa.Y < pb.Y
 		}
 		return order[a] < order[b]
@@ -108,7 +108,7 @@ func (t *KDTree) search(node int32, q Point, best *int32, bestD2 *float64) {
 	d2 := q.Dist2(p)
 	// Exact tie on the squared distance intentionally falls through to
 	// the lowest-index rule so the tree matches geo.Nearest bit-for-bit.
-	if d2 < *bestD2 || (d2 == *bestD2 && (*best < 0 || n.idx < *best)) { //esharing:allow floateq
+	if d2 < *bestD2 || (d2 == *bestD2 && (*best < 0 || n.idx < *best)) { //esharing:allow floateq -- exact tie falls to the lowest index, matching geo.Nearest
 		*best = n.idx
 		*bestD2 = d2
 	}

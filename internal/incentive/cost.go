@@ -67,7 +67,7 @@ func SavingRatio(p CostParams, m, n int) (float64, error) {
 	den := fn*p.ServicePerStop + (fn*fn-fn)/2*p.DelayUnit
 	// Division guard: only an exactly-zero denominator (both cost
 	// parameters zero) is undefined; near-zero values divide fine.
-	if den == 0 { //esharing:allow floateq
+	if den == 0 { //esharing:allow floateq -- exact-zero sentinel; near-zero divides fine
 		return 0, nil
 	}
 	num := fm*p.ServicePerStop + (fm*fm-fm)/2*p.DelayUnit

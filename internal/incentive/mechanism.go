@@ -100,12 +100,19 @@ func NewMechanism(cfg MechanismConfig, stations []geo.Point, fleet *energy.Fleet
 	if fleet == nil {
 		return nil, fmt.Errorf("incentive: nil fleet")
 	}
+	// Validate in sorted key order so the reported station is the lowest
+	// offender, not whichever entry map iteration served first.
+	lowKeys := make([]int, 0, len(low))
+	for i := range low {
+		lowKeys = append(lowKeys, i)
+	}
+	sort.Ints(lowKeys)
 	lowCopy := make(map[int][]int64, len(low))
-	for i, ids := range low {
+	for _, i := range lowKeys {
 		if i < 0 || i >= len(stations) {
 			return nil, fmt.Errorf("incentive: low-bike station %d out of range", i)
 		}
-		lowCopy[i] = append([]int64(nil), ids...)
+		lowCopy[i] = append([]int64(nil), low[i]...)
 	}
 	sinkSet := make(map[int]bool, len(sinks))
 	for _, s := range sinks {
@@ -143,18 +150,14 @@ func PickSinks(low map[int][]int64, count int) []int {
 	for i, ids := range low {
 		entries = append(entries, entry{idx: i, n: len(ids)})
 	}
-	// Selection sort by descending count then ascending index: tiny
-	// inputs, clarity over speed.
-	for i := 0; i < len(entries); i++ {
-		best := i
-		for j := i + 1; j < len(entries); j++ {
-			if entries[j].n > entries[best].n ||
-				(entries[j].n == entries[best].n && entries[j].idx < entries[best].idx) {
-				best = j
-			}
+	// Descending count, ties broken by ascending index — a total order,
+	// so the collect-then-sort pair erases map iteration order.
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].n != entries[b].n {
+			return entries[a].n > entries[b].n
 		}
-		entries[i], entries[best] = entries[best], entries[i]
-	}
+		return entries[a].idx < entries[b].idx
+	})
 	if count > len(entries) {
 		count = len(entries)
 	}
@@ -280,12 +283,7 @@ func (m *Mechanism) Result() Result {
 		}
 	}
 	// Deterministic order for reports.
-	for i := 1; i < len(res.ServiceStations); i++ {
-		for j := i; j > 0 && res.ServiceStations[j] < res.ServiceStations[j-1]; j-- {
-			res.ServiceStations[j], res.ServiceStations[j-1] =
-				res.ServiceStations[j-1], res.ServiceStations[j]
-		}
-	}
+	sort.Ints(res.ServiceStations)
 	return res
 }
 

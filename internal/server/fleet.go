@@ -70,7 +70,7 @@ func NewShardedWithFleet(placers []core.OnlinePlacer, fleet *energy.Fleet, opts 
 	}
 	// Construction-time write: no handler can observe s until
 	// NewShardedWithFleet returns, so the lock is not needed yet.
-	s.fleet = fleet //esharing:allow guardedby
+	s.fleet = fleet //esharing:allow guardedby -- construction-time write; no handler can run yet
 	s.getBike = fleet.Get
 	s.mux.HandleFunc("GET /v1/bikes", s.instrument(epBikes, s.handleBikes))
 	s.mux.HandleFunc("POST /v1/bikes", s.instrument(epAddBike, s.handleAddBike))

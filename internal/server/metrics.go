@@ -394,7 +394,7 @@ func (s *Server) writeLatencyHistograms(sb *strings.Builder) {
 func (s *Server) endpointActive(ep int) bool {
 	// Lock-free nil check: the fleet pointer is written once during
 	// construction and never reassigned, only its contents mutate.
-	return ep < epBikes || s.fleet != nil //esharing:allow guardedby
+	return ep < epBikes || s.fleet != nil //esharing:allow guardedby -- set-once pointer, nil-check only
 }
 
 // formatBound renders a bucket bound the way Prometheus clients do

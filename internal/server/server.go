@@ -18,6 +18,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -288,6 +289,7 @@ func NewSharded(placers []core.OnlinePlacer, opts ...Option) (*Server, error) {
 			sh.walSnapshotEvery = s.walSnapshotEvery
 			if err := sh.openWAL(); err != nil {
 				for _, prev := range s.shards[:i] {
+					//esharing:allow walerr -- best-effort cleanup after a failed startup; the open error is what propagates
 					_ = prev.closeWAL()
 				}
 				return nil, err
@@ -391,30 +393,12 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	}
 	defer func() { <-sh.queue }()
 
-	// Wait for the shard's decision lock, abandoning the wait if the
-	// client gives up first.
-	select {
-	case sh.decision <- struct{}{}:
-	case <-r.Context().Done():
+	decision, acquired, err := sh.placeLocked(r.Context(), req.Dest)
+	if !acquired {
 		writeJSON(w, statusClientClosedRequest,
 			errorBody{Error: "request canceled while queued for placement"})
 		return
 	}
-	decision, err := sh.placer.Place(req.Dest)
-	if err == nil {
-		sh.requests.Add(1)
-		if decision.Opened {
-			sh.opened.Add(1)
-		}
-		walk := math.Float64frombits(sh.walkBits.Load()) + decision.Walk
-		sh.walkBits.Store(math.Float64bits(walk))
-		sh.refreshAfterPlace(decision.Opened)
-		// The decision is durable (modulo -wal-sync batching) before
-		// the lock is released and the response committed.
-		sh.logDecision(req.Dest, decision)
-	}
-	<-sh.decision
-
 	if err != nil {
 		writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: err.Error()})
 		return
@@ -425,6 +409,39 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		Opened:       decision.Opened,
 		WalkMeters:   decision.Walk,
 	})
+}
+
+// placeLocked serialises one placement on the shard: it waits for the
+// decision lock — abandoning the wait, with acquired=false, if the
+// client gives up first — applies the placement, updates the serving
+// counters, refreshes the read snapshot, and logs the decision durably.
+// The lock is released by defer, so a panicking placer cannot leak it;
+// the release still precedes the caller's response write.
+//
+//esharing:hotpath
+//esharing:deterministic
+func (sh *shard) placeLocked(ctx context.Context, dest geo.Point) (decision core.Decision, acquired bool, err error) {
+	select {
+	case sh.decision <- struct{}{}:
+	case <-ctx.Done():
+		return core.Decision{}, false, nil
+	}
+	defer func() { <-sh.decision }()
+	decision, err = sh.placer.Place(dest)
+	if err != nil {
+		return core.Decision{}, true, err
+	}
+	sh.requests.Add(1)
+	if decision.Opened {
+		sh.opened.Add(1)
+	}
+	walk := math.Float64frombits(sh.walkBits.Load()) + decision.Walk
+	sh.walkBits.Store(math.Float64bits(walk))
+	sh.refreshAfterPlace(decision.Opened)
+	// The decision is durable (modulo -wal-sync batching) before the
+	// lock is released and the response committed.
+	sh.logDecision(dest, decision)
+	return decision, true, nil
 }
 
 // handleStations serves GET /v1/stations from the merged view —

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -43,6 +44,8 @@ func WithWAL(dir string, syncEvery int, snapshotEvery uint64) Option {
 // decision lock for real, so the lock discipline holds even if
 // construction ever overlaps serving.
 func (sh *shard) openWAL() error {
+	sh.decision <- struct{}{}
+	defer func() { <-sh.decision }()
 	dp, ok := sh.placer.(core.DurablePlacer)
 	if !ok {
 		return fmt.Errorf("server: placer %q does not support durable logging", sh.name)
@@ -58,12 +61,10 @@ func (sh *shard) openWAL() error {
 	}
 
 	start := time.Now()
-	sh.decision <- struct{}{}
-	err = sh.replayRecovered(dp, rec)
-	<-sh.decision
-	if err != nil {
-		log.Close()
-		return err
+	if err := sh.replayRecovered(dp, rec); err != nil {
+		// The replay failure is what matters; a close failure on the
+		// already-rejected log rides along in the join.
+		return errors.Join(err, log.Close())
 	}
 	sh.walReplayNanos.Store(time.Since(start).Nanoseconds())
 	sh.walReplayed.Store(int64(len(rec.Tail)))
@@ -74,6 +75,8 @@ func (sh *shard) openWAL() error {
 // replayRecovered restores the snapshot and re-drives the log tail
 // through the placer, verifying bit-identical reproduction of every
 // recorded decision; caller holds decision.
+//
+//esharing:deterministic
 func (sh *shard) replayRecovered(dp core.DurablePlacer, rec *wal.Recovered) error {
 	if snap := rec.Snapshot; snap != nil {
 		if err := dp.UnmarshalState(snap.PlacerState); err != nil {
@@ -206,13 +209,20 @@ func (sh *shard) closeWAL() error {
 func (s *Server) WALRecords() uint64 {
 	var total uint64
 	for _, sh := range s.shards {
-		sh.decision <- struct{}{}
-		if sh.wal != nil {
-			total += sh.wal.Records()
-		}
-		<-sh.decision
+		total += sh.walRecordsLocked()
 	}
 	return total
+}
+
+// walRecordsLocked reads one shard's record count under its decision
+// lock, released by defer.
+func (sh *shard) walRecordsLocked() uint64 {
+	sh.decision <- struct{}{}
+	defer func() { <-sh.decision }()
+	if sh.wal == nil {
+		return 0
+	}
+	return sh.wal.Records()
 }
 
 // Close flushes and closes every shard's decision log (a no-op without

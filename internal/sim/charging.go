@@ -282,15 +282,15 @@ func runIncentivePhase(
 	// by load) heading to random other stations — the app offers the
 	// relocation deal on pickup.
 	sources := make([]int, 0, len(low))
-	weights := make([]float64, 0, len(low))
 	for i, ids := range low {
 		if len(ids) > 0 {
 			sources = append(sources, i)
-			weights = append(weights, float64(len(ids)))
 		}
 	}
 	sort.Ints(sources)
-	// weights must align with the sorted sources.
+	// weights are built from the sorted sources, so they can never fall
+	// out of alignment with them.
+	weights := make([]float64, len(sources))
 	for k, i := range sources {
 		weights[k] = float64(len(low[i]))
 	}
