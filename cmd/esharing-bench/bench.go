@@ -25,13 +25,26 @@ type benchRecord struct {
 // the 2-D KS statistic and the forecasting grid — at the current
 // parallelism and writes {section, ns, allocs} records as JSON.
 func runBenchJSON(out io.Writer) error {
+	records := measureBenchSections()
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
+}
+
+// measureBenchSections runs every tracked hot section once through
+// testing.Benchmark and returns the records; benchjson encodes them,
+// compare diffs them against a committed baseline.
+func measureBenchSections() []benchRecord {
 	var records []benchRecord
 	add := func(section string, fn func(b *testing.B)) {
 		r := testing.Benchmark(fn)
 		records = append(records, benchRecord{Section: section, Ns: r.NsPerOp(), Allocs: r.AllocsPerOp()})
 	}
 
-	for _, n := range []int{200, 500} {
+	// N=200/500 predate the incremental engine; N=2000/10000 exist
+	// because the engine made them feasible — the committed baseline is
+	// the proof the repository stays at city scale.
+	for _, n := range []int{200, 500, 2000, 10000} {
 		p := benchProblem(uint64(n), n)
 		add(fmt.Sprintf("solver/offline/N=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -65,10 +78,7 @@ func runBenchJSON(out io.Writer) error {
 			}
 		}
 	})
-
-	enc := json.NewEncoder(out)
-	enc.SetIndent("", "  ")
-	return enc.Encode(records)
+	return records
 }
 
 // benchProblem mirrors the solver benchmark instances: clustered plus

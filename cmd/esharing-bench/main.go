@@ -15,6 +15,14 @@
 // allocs} baseline for the solver, KS and forecasting-grid hot sections
 // (committed as BENCH_compute.json and uploaded by CI).
 //
+// The compare subcommand re-measures those sections and diffs them
+// against a committed baseline, failing on regressions:
+//
+//	esharing-bench compare -baseline BENCH_compute.json [-tolerance 0.25] [-out fresh.json]
+//
+// CI runs it as a required step of the test job; see README.md for the
+// bench-gate workflow.
+//
 // -parallelism N bounds the deterministic compute fan-out (default: the
 // ESHARING_PARALLELISM environment variable, else GOMAXPROCS). Output is
 // bit-identical for every value; 1 runs fully sequentially.
@@ -39,6 +47,9 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
+	if len(args) > 0 && args[0] == "compare" {
+		return runCompare(args[1:], out)
+	}
 	fs := flag.NewFlagSet("esharing-bench", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "shrink grids and trial counts for a fast pass")
 	asJSON := fs.Bool("json", false, "emit structured JSON instead of rendered tables")

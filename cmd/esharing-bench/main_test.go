@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 )
@@ -45,5 +46,28 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"nonsense"}, &buf); err == nil {
 		t.Error("unknown experiment should error")
+	}
+}
+
+func TestRunCompareErrors(t *testing.T) {
+	var buf bytes.Buffer
+	// Every failure here trips before any benchmark is measured, keeping
+	// the test cheap: missing baseline, unparseable baseline, negative
+	// tolerance, stray positional arguments.
+	if err := run([]string{"compare", "-baseline", "/nonexistent/base.json"}, &buf); err == nil {
+		t.Error("missing baseline file should error")
+	}
+	bad := t.TempDir() + "/bad.json"
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"compare", "-baseline", bad}, &buf); err == nil {
+		t.Error("unparseable baseline should error")
+	}
+	if err := run([]string{"compare", "-tolerance", "-0.5", "-baseline", bad}, &buf); err == nil {
+		t.Error("negative tolerance should error")
+	}
+	if err := run([]string{"compare", "stray"}, &buf); err == nil {
+		t.Error("positional arguments should error")
 	}
 }

@@ -19,13 +19,25 @@ import (
 // B'_i is the set of already-connected clients that would save by
 // switching to i. Opened facilities have their opening cost zeroed so
 // later iterations may continue to attract switchers for free. The loop
-// ends when every client is connected; complexity O(N³).
+// ends when every client is connected.
 //
-// The per-iteration candidate sweep — the O(N²) inner double loop — fans
-// out across parallel.Default() workers; see SolveOfflineWorkers for the
-// determinism contract.
+// SolveOffline runs the geometry-aware incremental engine (DESIGN.md
+// §13): candidate selection goes through a lazy priority queue keyed by
+// admissible lower bounds, and a candidate is only re-scored when a
+// client inside its kd-tree neighbourhood connects. The result is
+// bit-identical to SolveOfflineExact — same stations in the same order,
+// same assignment, bit-identical costs — at a fraction of the work;
+// differential tests enforce the identity at every worker count.
 func SolveOffline(p *Problem) (*Solution, error) {
 	return SolveOfflineWorkers(p, parallel.Default())
+}
+
+// SolveOfflineExact is the exact reference sweep: every iteration
+// re-scores every candidate against the full unconnected set. It is the
+// oracle the incremental SolveOffline must match bit for bit, and the
+// baseline the EXPERIMENTS.md speedup table measures against.
+func SolveOfflineExact(p *Problem) (*Solution, error) {
+	return SolveOfflineExactWorkers(p, parallel.Default())
 }
 
 // unassigned marks a demand not yet connected to any candidate.
@@ -47,19 +59,33 @@ type offlineScratch struct {
 	cost []float64
 }
 
-func (s *offlineScratch) Len() int           { return len(s.idx) }
-func (s *offlineScratch) Less(a, b int) bool { return s.cost[a] < s.cost[b] }
+func (s *offlineScratch) Len() int { return len(s.idx) }
+
+// Less orders by cost with exact ties broken by ascending client index.
+// The tie-break makes the permutation a total order determined by the
+// data alone: which clients a tie-straddling prefix connects no longer
+// depends on the sort algorithm's internal tie handling, so any correct
+// sort — sort.Sort here, the stable radix sort on the incremental hot
+// path — produces the identical array.
+func (s *offlineScratch) Less(a, b int) bool {
+	if s.cost[a] < s.cost[b] {
+		return true
+	}
+	if s.cost[b] < s.cost[a] {
+		return false
+	}
+	return s.idx[a] < s.idx[b]
+}
+
 func (s *offlineScratch) Swap(a, b int) {
 	s.idx[a], s.idx[b] = s.idx[b], s.idx[a]
 	s.cost[a], s.cost[b] = s.cost[b], s.cost[a]
 }
 
-// sortUnconnByCost loads the unconnected clients into s and sorts them
-// by connection cost to candidate i. The load order (ascending client
-// index) and the comparison outcomes match the original per-candidate
-// sort exactly, so the resulting permutation — including the order of
-// cost ties, which decides which clients a tie-straddling prefix
-// connects — is bit-compatible with the sequential seed.
+// sortUnconnByCost loads the unconnected clients into s (ascending
+// client index) and sorts them by connection cost to candidate i, exact
+// cost ties by client index — the documented total order every solver
+// path shares.
 func sortUnconnByCost(p *Problem, i int, unconn []int, s *offlineScratch) {
 	s.idx = s.idx[:0]
 	s.cost = s.cost[:0]
@@ -99,7 +125,9 @@ func evalCandidate(p *Problem, i int, assign []int, curCost []float64, openCost 
 	return best
 }
 
-// SolveOfflineWorkers is SolveOffline with an explicit worker count.
+// SolveOfflineExactWorkers is SolveOfflineExact with an explicit worker
+// count: the per-iteration candidate sweep — the O(N²) inner double
+// loop — fans out across the workers.
 //
 // Determinism contract: the solution is bit-identical for every workers
 // value, and workers == 1 reproduces the sequential algorithm exactly —
@@ -110,7 +138,7 @@ func evalCandidate(p *Problem, i int, assign []int, curCost []float64, openCost 
 // index with a strict comparison — exactly the sequential scan's
 // first-minimum tie-break. Differential tests pin this at parallelism
 // 1, 2, 4 and 7 against a copy of the seed implementation.
-func SolveOfflineWorkers(p *Problem, workers int) (*Solution, error) {
+func SolveOfflineExactWorkers(p *Problem, workers int) (*Solution, error) {
 	n := len(p.Demands)
 	if n == 0 {
 		return nil, ErrEmptyProblem

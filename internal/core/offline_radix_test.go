@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// Differential tests for the float64 radix sorts: on every input class
+// the solver can produce — and on the abnormal classes it cannot, which
+// must route to the comparison-sort fallback — sortAsc and sortPairsAsc
+// must produce exactly the arrays slices.Sort and sort.Sort produce.
+
+// radixInput builds one named test vector. Sizes straddle radixSortMin
+// so both the fallback and the radix path run.
+func radixInputs() map[string][]float64 {
+	rng := stats.NewRNG(77)
+	inputs := map[string][]float64{
+		"empty":     {},
+		"single":    {42.5},
+		"tiny":      {3, 1, 2, 1, 0},
+		"zeros":     make([]float64, radixSortMin+9),
+		"negatives": {5, -1, 3, -2.5, 0},
+	}
+	uniform := make([]float64, 4*radixSortMin)
+	for i := range uniform {
+		uniform[i] = rng.Float64() * 1e4
+	}
+	inputs["uniform"] = uniform
+
+	// Heavy exact ties from a small value alphabet: most radix passes
+	// see constant bytes and are skipped.
+	tied := make([]float64, 3*radixSortMin)
+	for i := range tied {
+		tied[i] = float64(rng.IntN(7)) * 12.25
+	}
+	inputs["tied"] = tied
+
+	// Wildly mixed magnitudes exercise every exponent byte.
+	mixed := make([]float64, 2*radixSortMin)
+	for i := range mixed {
+		mixed[i] = rng.Float64() * math.Pow(10, float64(rng.IntN(16)-4))
+	}
+	inputs["mixed-magnitude"] = mixed
+
+	// Abnormal inputs (impossible for walk costs) must hit the bit-screen
+	// fallback and still sort correctly.
+	abnormal := make([]float64, radixSortMin+33)
+	for i := range abnormal {
+		abnormal[i] = rng.Float64()*100 - 50
+	}
+	abnormal[7] = math.Inf(1)
+	abnormal[11] = math.Copysign(0, -1)
+	inputs["abnormal"] = abnormal
+	return inputs
+}
+
+func TestRadixSortAscMatchesSlicesSort(t *testing.T) {
+	var rs radixScratch
+	for name, in := range radixInputs() {
+		got := append([]float64(nil), in...)
+		want := append([]float64(nil), in...)
+		rs.sortAsc(got)
+		slices.Sort(want)
+		if len(got) != len(want) {
+			t.Fatalf("%s: length changed: %d != %d", name, len(got), len(want))
+		}
+		for k := range want {
+			if math.Float64bits(got[k]) != math.Float64bits(want[k]) {
+				t.Fatalf("%s: position %d: got bits %x, want bits %x",
+					name, k, math.Float64bits(got[k]), math.Float64bits(want[k]))
+			}
+		}
+	}
+}
+
+func TestRadixSortPairsAscMatchesSortSort(t *testing.T) {
+	for name, in := range radixInputs() {
+		got := &offlineScratch{cost: append([]float64(nil), in...), idx: make([]int, len(in))}
+		want := &offlineScratch{cost: append([]float64(nil), in...), idx: make([]int, len(in))}
+		for k := range in {
+			got.idx[k] = k
+			want.idx[k] = k
+		}
+		var rs radixScratch
+		rs.sortPairsAsc(got)
+		sort.Sort(want)
+		for k := range in {
+			if math.Float64bits(got.cost[k]) != math.Float64bits(want.cost[k]) {
+				t.Fatalf("%s: cost[%d]: got bits %x, want bits %x",
+					name, k, math.Float64bits(got.cost[k]), math.Float64bits(want.cost[k]))
+			}
+			if got.idx[k] != want.idx[k] {
+				t.Fatalf("%s: idx[%d]: got %d, want %d — tie order diverged",
+					name, k, got.idx[k], want.idx[k])
+			}
+		}
+	}
+}
+
+// TestRadixScratchReuse re-sorts through one shared scratch, as the
+// solver does across thousands of iterations: leftover histograms or
+// ping-pong buffers from a previous call must not leak into the next.
+func TestRadixScratchReuse(t *testing.T) {
+	rng := stats.NewRNG(123)
+	var rs radixScratch
+	sc := &offlineScratch{}
+	for round := 0; round < 25; round++ {
+		n := 1 + rng.IntN(3*radixSortMin)
+		in := make([]float64, n)
+		for i := range in {
+			in[i] = float64(rng.IntN(40)) * 3.5
+		}
+		got := append([]float64(nil), in...)
+		want := append([]float64(nil), in...)
+		rs.sortAsc(got)
+		slices.Sort(want)
+		for k := range want {
+			if math.Float64bits(got[k]) != math.Float64bits(want[k]) {
+				t.Fatalf("round %d (n=%d): sortAsc diverged at %d", round, n, k)
+			}
+		}
+		sc.idx = sc.idx[:0]
+		sc.cost = sc.cost[:0]
+		for k, c := range in {
+			sc.idx = append(sc.idx, k)
+			sc.cost = append(sc.cost, c)
+		}
+		wantSc := &offlineScratch{
+			idx:  append([]int(nil), sc.idx...),
+			cost: append([]float64(nil), sc.cost...),
+		}
+		rs.sortPairsAsc(sc)
+		sort.Sort(wantSc)
+		for k := range wantSc.idx {
+			if sc.idx[k] != wantSc.idx[k] {
+				t.Fatalf("round %d (n=%d): sortPairsAsc idx diverged at %d: %s",
+					round, n, k, fmt.Sprint(sc.idx[:min(n, 20)]))
+			}
+		}
+	}
+}

@@ -38,35 +38,54 @@ func BuildKDTree(pts []Point) *KDTree {
 	for i := range order {
 		order[i] = int32(i)
 	}
-	t.root = t.build(order, 0)
+	t.root = t.build(&kdSorter{pts: t.pts, order: order}, order, 0)
 	return t
 }
 
-func (t *KDTree) build(order []int32, depth uint8) int32 {
+// kdSorter sorts a subrange of the build order along one axis. A single
+// instance is threaded through the whole recursive build so constructing
+// a tree does not allocate a comparator closure per node — the solver
+// builds a tree per solve, and the placers per rebuild.
+type kdSorter struct {
+	pts   []Point
+	order []int32 // current subrange being sorted
+	axis  uint8
+}
+
+func (s *kdSorter) Len() int { return len(s.order) }
+
+func (s *kdSorter) Less(a, b int) bool {
+	pa, pb := s.pts[s.order[a]], s.pts[s.order[b]]
+	// Exact comparison is required here: a sort key must induce a
+	// total order over the stored coordinates, and epsilon
+	// tie-breaking would make it intransitive.
+	if s.axis == 0 {
+		if pa.X != pb.X { //esharing:allow floateq -- sort key needs an exact total order
+			return pa.X < pb.X
+		}
+	} else if pa.Y != pb.Y { //esharing:allow floateq -- sort key needs an exact total order
+		return pa.Y < pb.Y
+	}
+	return s.order[a] < s.order[b]
+}
+
+func (s *kdSorter) Swap(a, b int) {
+	s.order[a], s.order[b] = s.order[b], s.order[a]
+}
+
+func (t *KDTree) build(sorter *kdSorter, order []int32, depth uint8) int32 {
 	if len(order) == 0 {
 		return -1
 	}
 	axis := depth % 2
-	sort.Slice(order, func(a, b int) bool {
-		pa, pb := t.pts[order[a]], t.pts[order[b]]
-		// Exact comparison is required here: a sort key must induce a
-		// total order over the stored coordinates, and epsilon
-		// tie-breaking would make it intransitive.
-		if axis == 0 {
-			if pa.X != pb.X { //esharing:allow floateq -- sort key needs an exact total order
-				return pa.X < pb.X
-			}
-		} else if pa.Y != pb.Y { //esharing:allow floateq -- sort key needs an exact total order
-			return pa.Y < pb.Y
-		}
-		return order[a] < order[b]
-	})
+	sorter.order, sorter.axis = order, axis
+	sort.Sort(sorter)
 	mid := len(order) / 2
 	node := kdNode{idx: order[mid], axis: axis}
 	nodeIdx := int32(len(t.nodes))
 	t.nodes = append(t.nodes, node)
-	left := t.build(order[:mid], depth+1)
-	right := t.build(order[mid+1:], depth+1)
+	left := t.build(sorter, order[:mid], depth+1)
+	right := t.build(sorter, order[mid+1:], depth+1)
 	t.nodes[nodeIdx].left = left
 	t.nodes[nodeIdx].right = right
 	return nodeIdx
@@ -125,6 +144,156 @@ func (t *KDTree) search(node int32, q Point, best *int32, bestD2 *float64) {
 	t.search(near, q, best, bestD2)
 	if diff*diff <= *bestD2 {
 		t.search(far, q, best, bestD2)
+	}
+}
+
+// Within appends to dst the indices of every indexed point strictly
+// closer to q than r (Euclidean distance < r) and returns the extended
+// slice. Passing a reused dst[:0] makes repeated queries allocation-free
+// once the slice has grown to its working size.
+//
+// The comparison is performed on squared distances (Dist2(q, p) < r*r);
+// callers whose membership condition is natively a squared-distance
+// comparison — like the offline solver's neighbourhood invalidation —
+// should use WithinDist2 directly and avoid the square-root/re-square
+// rounding round-trip. Results come back in the tree's deterministic
+// traversal order (node, left, right), which depends only on the
+// indexed points; r <= 0, NaN radii and empty trees yield no results.
+func (t *KDTree) Within(q Point, r float64, dst []int32) []int32 {
+	if !(r > 0) {
+		return dst
+	}
+	return t.WithinDist2(q, r*r, dst)
+}
+
+// WithinDist2 is Within with the radius given in squared form: it
+// appends the indices of every indexed point p with Dist2(q, p) < r2,
+// exactly as the caller's own squared-distance comparisons would
+// classify them.
+func (t *KDTree) WithinDist2(q Point, r2 float64, dst []int32) []int32 {
+	if !(r2 > 0) {
+		return dst
+	}
+	return t.within(t.root, q, r2, dst)
+}
+
+func (t *KDTree) within(node int32, q Point, r2 float64, dst []int32) []int32 {
+	if node < 0 {
+		return dst
+	}
+	n := t.nodes[node]
+	p := t.pts[n.idx]
+	if q.Dist2(p) < r2 {
+		dst = append(dst, n.idx)
+	}
+	var diff float64
+	if n.axis == 0 {
+		diff = q.X - p.X
+	} else {
+		diff = q.Y - p.Y
+	}
+	// Any point in the far subtree is at least |diff| from q along the
+	// splitting axis, so diff*diff >= r2 proves its distance is >= r and
+	// the subtree cannot contain a strict member.
+	if diff <= 0 {
+		dst = t.within(n.left, q, r2, dst)
+		if diff*diff < r2 {
+			dst = t.within(n.right, q, r2, dst)
+		}
+		return dst
+	}
+	if diff*diff < r2 {
+		dst = t.within(n.left, q, r2, dst)
+	}
+	return t.within(n.right, q, r2, dst)
+}
+
+// KNearest collects the k points nearest to q: indices into the tree's
+// point set and their squared distances, appended to the reusable dst
+// buffers (pass them re-sliced to [:0] for allocation-free queries) and
+// returned UNORDERED — callers needing ascending distances sort the
+// small result themselves. When the tree holds fewer than k points,
+// every point is returned. The traversal maintains a bounded max-heap on
+// squared distance and prunes a subtree once the splitting-plane
+// distance alone proves it cannot beat the current k-th best; ties at
+// the k-th distance resolve by the deterministic traversal order (node,
+// left, right), so repeated queries return the same set.
+func (t *KDTree) KNearest(q Point, k int, dstIdx []int32, dstD2 []float64) ([]int32, []float64) {
+	dstIdx, dstD2 = dstIdx[:0], dstD2[:0]
+	if k <= 0 {
+		return dstIdx, dstD2
+	}
+	t.knearest(t.root, q, k, &dstIdx, &dstD2)
+	return dstIdx, dstD2
+}
+
+func (t *KDTree) knearest(node int32, q Point, k int, idx *[]int32, d2s *[]float64) {
+	if node < 0 {
+		return
+	}
+	n := t.nodes[node]
+	p := t.pts[n.idx]
+	d2 := q.Dist2(p)
+	if len(*d2s) < k {
+		*idx = append(*idx, n.idx)
+		*d2s = append(*d2s, d2)
+		siftUpMaxPair(*idx, *d2s)
+	} else if d2 < (*d2s)[0] {
+		(*idx)[0], (*d2s)[0] = n.idx, d2
+		siftDownMaxPair(*idx, *d2s)
+	}
+	var diff float64
+	if n.axis == 0 {
+		diff = q.X - p.X
+	} else {
+		diff = q.Y - p.Y
+	}
+	near, far := n.left, n.right
+	if diff > 0 {
+		near, far = far, near
+	}
+	t.knearest(near, q, k, idx, d2s)
+	// The far subtree lies at least |diff| away along the splitting
+	// axis; with k results in hand it only matters while it could still
+	// beat the current k-th best.
+	if len(*d2s) < k || diff*diff < (*d2s)[0] {
+		t.knearest(far, q, k, idx, d2s)
+	}
+}
+
+// siftUpMaxPair restores the max-heap (ordered by d2) after appending.
+func siftUpMaxPair(idx []int32, d2s []float64) {
+	i := len(d2s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(d2s[parent] < d2s[i]) {
+			return
+		}
+		idx[i], idx[parent] = idx[parent], idx[i]
+		d2s[i], d2s[parent] = d2s[parent], d2s[i]
+		i = parent
+	}
+}
+
+// siftDownMaxPair restores the max-heap after replacing the root.
+func siftDownMaxPair(idx []int32, d2s []float64) {
+	n := len(d2s)
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		m := left
+		if right := left + 1; right < n && d2s[left] < d2s[right] {
+			m = right
+		}
+		if !(d2s[i] < d2s[m]) {
+			return
+		}
+		idx[i], idx[m] = idx[m], idx[i]
+		d2s[i], d2s[m] = d2s[m], d2s[i]
+		i = m
 	}
 }
 

@@ -3,6 +3,7 @@ package geo
 import (
 	"math"
 	"math/rand/v2"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -210,6 +211,140 @@ func TestDynamicIndexDifferential10k(t *testing.T) {
 	check("after reinserts")
 }
 
+// linearWithin is the oracle for KDTree.Within: ascending-index scan
+// with the same strict squared-distance membership test.
+func linearWithin(q Point, r float64, pts []Point) []int32 {
+	var out []int32
+	if !(r > 0) {
+		return out
+	}
+	r2 := r * r
+	for i, p := range pts {
+		if q.Dist2(p) < r2 {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func sameIndexSet(t *testing.T, label string, got, want []int32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d members, want %d (got %v want %v)", label, len(got), len(want), got, want)
+	}
+	seen := make(map[int32]bool, len(got))
+	for _, i := range got {
+		if seen[i] {
+			t.Fatalf("%s: index %d returned twice", label, i)
+		}
+		seen[i] = true
+	}
+	for _, i := range want {
+		if !seen[i] {
+			t.Fatalf("%s: missing index %d", label, i)
+		}
+	}
+}
+
+func TestKDTreeWithinMatchesLinear(t *testing.T) {
+	pts := randomPts(21, 400)
+	// Salt with exact duplicates so boundary membership sees ties.
+	pts = append(pts, pts[0], pts[17], pts[250])
+	tr := BuildKDTree(pts)
+	for qi, q := range randomPts(22, 200) {
+		for _, r := range []float64{0, 1, 50, 400, 2500, 10000} {
+			got := tr.Within(q, r, nil)
+			want := linearWithin(q, r, pts)
+			sameIndexSet(t, "query", got, want)
+			_ = qi
+		}
+	}
+}
+
+func TestKDTreeWithinEdgeCases(t *testing.T) {
+	if got := BuildKDTree(nil).Within(Pt(0, 0), 100, nil); len(got) != 0 {
+		t.Errorf("empty tree: %v", got)
+	}
+	pts := []Point{Pt(0, 0), Pt(3, 4), Pt(0, 0)}
+	tr := BuildKDTree(pts)
+	// r <= 0 and NaN radii are empty by definition (strict inequality).
+	for _, r := range []float64{0, -1, math.NaN()} {
+		if got := tr.Within(Pt(0, 0), r, nil); len(got) != 0 {
+			t.Errorf("r=%v: %v", r, got)
+		}
+	}
+	// Strictness: a point at exactly distance r is not a member.
+	sameIndexSet(t, "r=5 exact boundary", tr.Within(Pt(0, 0), 5, nil), []int32{0, 2})
+	sameIndexSet(t, "r just above", tr.Within(Pt(0, 0), math.Nextafter(5, 6), nil), []int32{0, 1, 2})
+	// dst is appended to, preserving existing contents.
+	dst := []int32{99}
+	dst = tr.Within(Pt(3, 4), 1, dst)
+	sameIndexSet(t, "append to dst", dst, []int32{99, 1})
+}
+
+func TestKDTreeWithinDeterministicOrder(t *testing.T) {
+	pts := randomPts(23, 300)
+	tr := BuildKDTree(pts)
+	q := Pt(2500, 2500)
+	first := tr.Within(q, 1500, nil)
+	for run := 0; run < 5; run++ {
+		again := tr.Within(q, 1500, nil)
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d members, want %d", run, len(again), len(first))
+		}
+		for k := range first {
+			if again[k] != first[k] {
+				t.Fatalf("run %d: order diverged at %d: %d vs %d", run, k, again[k], first[k])
+			}
+		}
+	}
+}
+
+func TestQuickKDTreeWithinAgreesWithLinear(t *testing.T) {
+	property := func(raw []uint32, qx, qy, rr uint32) bool {
+		if len(raw) > 60 {
+			raw = raw[:60]
+		}
+		pts := make([]Point, 0, len(raw))
+		for _, r := range raw {
+			// Quantised coordinates force frequent exact boundary ties.
+			pts = append(pts, Pt(float64(r%50), float64((r>>16)%50)))
+		}
+		tr := BuildKDTree(pts)
+		q := Pt(float64(qx%50), float64(qy%50))
+		radius := float64(rr % 80)
+		got := tr.Within(q, radius, nil)
+		want := linearWithin(q, radius, pts)
+		if len(got) != len(want) {
+			return false
+		}
+		seen := make(map[int32]bool, len(got))
+		for _, i := range got {
+			seen[i] = true
+		}
+		for _, i := range want {
+			if !seen[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkKDTreeWithin10k(b *testing.B) {
+	tr := BuildKDTree(randomPts(11, 10000))
+	q := randomPts(12, 1)[0]
+	var dst []int32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = tr.Within(q, 250, dst[:0])
+	}
+}
+
 func BenchmarkLinearNearest10k(b *testing.B) {
 	pts := randomPts(11, 10000)
 	q := randomPts(12, 1)[0]
@@ -225,5 +360,81 @@ func BenchmarkKDTreeNearest10k(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.Nearest(q)
+	}
+}
+
+// linearKNearestD2 is the oracle for KNearest's distance multiset: the
+// min(k, n) smallest squared distances from q, ascending.
+func linearKNearestD2(q Point, k int, pts []Point) []float64 {
+	d2s := make([]float64, len(pts))
+	for i, p := range pts {
+		d2s[i] = q.Dist2(p)
+	}
+	sort.Float64s(d2s)
+	if k > len(d2s) {
+		k = len(d2s)
+	}
+	return d2s[:k]
+}
+
+func TestKDTreeKNearestMatchesLinear(t *testing.T) {
+	pts := randomPts(31, 350)
+	// Exact duplicates force ties at the k-th distance.
+	pts = append(pts, pts[3], pts[40], pts[40], pts[99])
+	tr := BuildKDTree(pts)
+	var idx []int32
+	var d2s []float64
+	for _, k := range []int{1, 2, 7, 64, len(pts), len(pts) + 10} {
+		for _, q := range []Point{Pt(0, 0), Pt(2500, 2500), pts[40], Pt(-100, 6000)} {
+			idx, d2s = tr.KNearest(q, k, idx, d2s)
+			want := linearKNearestD2(q, k, pts)
+			if len(idx) != len(want) || len(d2s) != len(want) {
+				t.Fatalf("k=%d q=%v: got %d results, want %d", k, q, len(idx), len(want))
+			}
+			seen := make(map[int32]bool, len(idx))
+			got := make([]float64, len(d2s))
+			for i, ix := range idx {
+				if seen[ix] {
+					t.Fatalf("k=%d q=%v: index %d returned twice", k, q, ix)
+				}
+				seen[ix] = true
+				if d := q.Dist2(pts[ix]); math.Float64bits(d) != math.Float64bits(d2s[i]) {
+					t.Fatalf("k=%d q=%v: stored d2 %v != recomputed %v for index %d", k, q, d2s[i], d, ix)
+				}
+				got[i] = d2s[i]
+			}
+			sort.Float64s(got)
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("k=%d q=%v: distance multiset diverges at %d: got %v want %v", k, q, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestKDTreeKNearestDeterministicAndReusable(t *testing.T) {
+	pts := randomPts(57, 600)
+	tr := BuildKDTree(pts)
+	q := Pt(1234, 4321)
+	firstIdx, firstD2 := tr.KNearest(q, 48, nil, nil)
+	wantIdx := append([]int32(nil), firstIdx...)
+	wantD2 := append([]float64(nil), firstD2...)
+	idx, d2s := firstIdx, firstD2
+	for round := 0; round < 5; round++ {
+		// Reused buffers must come back identical, entry for entry.
+		idx, d2s = tr.KNearest(q, 48, idx, d2s)
+		for i := range wantIdx {
+			if idx[i] != wantIdx[i] || math.Float64bits(d2s[i]) != math.Float64bits(wantD2[i]) {
+				t.Fatalf("round %d: result diverged at %d: (%d, %v) vs (%d, %v)",
+					round, i, idx[i], d2s[i], wantIdx[i], wantD2[i])
+			}
+		}
+	}
+	if gotIdx, gotD2 := tr.KNearest(q, 0, nil, nil); len(gotIdx) != 0 || len(gotD2) != 0 {
+		t.Fatalf("k=0: expected empty result, got %d/%d entries", len(gotIdx), len(gotD2))
+	}
+	if gotIdx, _ := BuildKDTree(nil).KNearest(q, 5, nil, nil); len(gotIdx) != 0 {
+		t.Fatalf("empty tree: expected no results, got %d", len(gotIdx))
 	}
 }

@@ -34,8 +34,17 @@ func (p Point) Scale(s float64) Point { return Point{X: p.X * s, Y: p.Y * s} }
 
 // Dist returns the Euclidean distance between p and q in metres. This is the
 // paper's walking-distance metric d_ij (Definition 1).
+//
+// It is sqrt(Dist2(p, q)) — one hardware square root over the same
+// squared form every nearest-neighbour comparison uses — rather than
+// math.Hypot: coordinates are metres across a city, so the overflow
+// protection Hypot buys costs an order of magnitude in the solvers' hot
+// loops for no reachable input. Because sqrt is correctly rounded and
+// monotone, Dist comparisons agree with Dist2 comparisons up to exact
+// rounding ties, which is exactly the property the offline solver's
+// radius queries reason from.
 func (p Point) Dist(q Point) float64 {
-	return math.Hypot(p.X-q.X, p.Y-q.Y)
+	return math.Sqrt(p.Dist2(q))
 }
 
 // Dist2 returns the squared Euclidean distance, useful for nearest-neighbour

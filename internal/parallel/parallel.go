@@ -111,6 +111,16 @@ func ForChunks(workers, n int, body func(worker, lo, hi int)) {
 		body(0, 0, n)
 		return
 	}
+	forkJoin(workers, n, body)
+}
+
+// forkJoin is ForChunks' multi-worker path, kept out of ForChunks
+// itself: the WaitGroup is captured by the worker goroutines and
+// therefore heap-allocated in its function's prologue, and callers that
+// take the sequential fast path — like the incremental solver's
+// per-pop re-scoring at workers == 1 — must not pay that allocation on
+// every call.
+func forkJoin(workers, n int, body func(worker, lo, hi int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
