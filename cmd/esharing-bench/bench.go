@@ -1,12 +1,14 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/dataset"
 	"repro/internal/forecast"
 	"repro/internal/geo"
 	"repro/internal/stats"
@@ -14,11 +16,15 @@ import (
 
 // benchRecord is one hot section's measured cost. CI uploads the full
 // array (BENCH_compute.json) on every run so the repository keeps a
-// perf trajectory across PRs.
+// perf trajectory across PRs. AllocBytes and Extra (custom metrics such
+// as rows/s from b.ReportMetric) are informational: the compare gate
+// diffs only Ns.
 type benchRecord struct {
-	Section string `json:"section"`
-	Ns      int64  `json:"ns"`
-	Allocs  int64  `json:"allocs"`
+	Section    string             `json:"section"`
+	Ns         int64              `json:"ns"`
+	Allocs     int64              `json:"allocs"`
+	AllocBytes int64              `json:"allocBytes,omitempty"`
+	Extra      map[string]float64 `json:"extra,omitempty"`
 }
 
 // runBenchJSON measures the compute hot sections — the offline solver,
@@ -38,7 +44,19 @@ func measureBenchSections() []benchRecord {
 	var records []benchRecord
 	add := func(section string, fn func(b *testing.B)) {
 		r := testing.Benchmark(fn)
-		records = append(records, benchRecord{Section: section, Ns: r.NsPerOp(), Allocs: r.AllocsPerOp()})
+		rec := benchRecord{
+			Section:    section,
+			Ns:         r.NsPerOp(),
+			Allocs:     r.AllocsPerOp(),
+			AllocBytes: r.AllocedBytesPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			rec.Extra = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				rec.Extra[k] = v
+			}
+		}
+		records = append(records, rec)
 	}
 
 	// N=200/500 predate the incremental engine; N=2000/10000 exist
@@ -78,7 +96,121 @@ func measureBenchSections() []benchRecord {
 			}
 		}
 	})
+
+	// Ingest sections: the encoding/csv materialising reader against the
+	// zero-alloc streaming scanner on the same in-memory Mobike CSV. The
+	// scan section is pinned to one worker so the tracked ratio is the
+	// single-thread speedup, independent of the runner's core count.
+	data, rows := benchCSV()
+	perRow := float64(rows)
+	add(fmt.Sprintf("ingest/readcsv/rows=%d", rows), func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if _, err := dataset.ReadCSV(bytes.NewReader(data), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(perRow*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+	// Workers and geohash handling match the readcsv baseline (ReadCSV
+	// with a nil projector validates but does not decode geohashes), so
+	// the ns ratio between the two sections is the single-thread speedup.
+	add(fmt.Sprintf("ingest/scan/rows=%d", rows), func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		opts := dataset.ScanOptions{Workers: 1}
+		for i := 0; i < b.N; i++ {
+			var n int64
+			err := dataset.IngestCSV(bytes.NewReader(data), opts, func(batch []dataset.RawTrip) error {
+				n += int64(len(batch))
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != int64(rows) {
+				b.Fatalf("scanned %d rows, want %d", n, rows)
+			}
+		}
+		b.ReportMetric(perRow*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+	add(fmt.Sprintf("ingest/demand/rows=%d", rows), func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if err := benchIngestDemand(data, rows); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(perRow*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
 	return records
+}
+
+// benchCSV renders the ingest fixture once: a multi-day synthetic
+// Mobike CSV held in memory so the ingest sections measure parsing, not
+// disk.
+func benchCSV() ([]byte, int) {
+	var buf bytes.Buffer
+	rows := 0
+	cw := dataset.NewCSVWriter(&buf)
+	if err := cw.WriteHeader(); err != nil {
+		panic(err)
+	}
+	err := dataset.GenerateStream(dataset.Config{
+		Days: 5, TripsWeekday: 16000, TripsWeekend: 12000, Bikes: 400, Seed: 11,
+	}, func(_ int, trips []dataset.Trip) error {
+		rows += len(trips)
+		return cw.WriteTrips(trips)
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := cw.Flush(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes(), rows
+}
+
+// benchIngestDemand is the full bounded-memory aggregation pipeline:
+// summarize for the projection centre and end bounds, then a second
+// streaming pass folding ends into the demand grid. Workers: 0 defers
+// to parallel.Default so `compare -parallelism 1` pins it.
+func benchIngestDemand(data []byte, rows int) error {
+	opts := dataset.ScanOptions{}
+	sum, err := dataset.ScanSummarize(bytes.NewReader(data), opts)
+	if err != nil {
+		return err
+	}
+	center, err := sum.Center()
+	if err != nil {
+		return err
+	}
+	projector := geo.NewProjector(center)
+	box, ok := sum.EndBounds(projector)
+	if !ok {
+		return fmt.Errorf("no end bounds")
+	}
+	acc, err := core.NewDemandAccumulator(box, 100)
+	if err != nil {
+		return err
+	}
+	n, err := dataset.ScanEndPoints(bytes.NewReader(data), projector, opts, func(pts []geo.Point) error {
+		acc.AddAll(pts)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if n != int64(rows) {
+		return fmt.Errorf("aggregated %d rows, want %d", n, rows)
+	}
+	demands, err := acc.Demands()
+	if err != nil {
+		return err
+	}
+	if len(demands) == 0 {
+		return fmt.Errorf("empty demand grid")
+	}
+	return nil
 }
 
 // benchProblem mirrors the solver benchmark instances: clustered plus

@@ -12,7 +12,7 @@
 //
 //	esharing-server [-addr :8080] [-algorithm e-sharing|meyerson|online-kmeans]
 //	                [-opening 10000] [-seed 1] [-trips-csv history.csv]
-//	                [-max-inflight 256] [-pprof-addr :6060]
+//	                [-stream-ingest] [-max-inflight 256] [-pprof-addr :6060]
 //	                [-shards 4] [-shard-precision 4]
 //	                [-read-timeout 10s] [-write-timeout 30s] [-idle-timeout 2m]
 //	                [-wal-dir /var/lib/esharing] [-wal-sync 1] [-wal-snapshot-every 4096]
@@ -52,6 +52,7 @@ func run(args []string) error {
 	opening := fs.Float64("opening", 10000, "space-occupation cost per station (metres)")
 	seed := fs.Uint64("seed", 1, "random seed")
 	tripsCSV := fs.String("trips-csv", "", "optional Mobike-schema CSV with historical trips; synthetic history is generated when empty")
+	streamIngest := fs.Bool("stream-ingest", false, "force the bounded-memory streaming CSV ingester; files over the size threshold stream automatically")
 	historyDays := fs.Int("history-days", 7, "days of synthetic history when no CSV is given")
 	fleetSize := fs.Int("fleet", 0, "register this many bikes at the planned stations and enable the tier-2 endpoints")
 	maxInflight := fs.Int("max-inflight", server.DefaultMaxInFlight, "placement requests allowed to hold or queue for the decision locks (divided across shards); beyond this the server sheds with 429 + Retry-After")
@@ -68,11 +69,11 @@ func run(args []string) error {
 		return err
 	}
 
-	history, err := loadHistory(*tripsCSV, *historyDays, *seed)
+	history, err := loadHistory(*tripsCSV, *historyDays, *seed, *streamIngest)
 	if err != nil {
 		return fmt.Errorf("load history: %w", err)
 	}
-	log.Printf("loaded %d historical trips", len(history))
+	log.Printf("loaded %d historical trip destinations", len(history))
 
 	placers, err := buildPlacers(*algorithm, history, *opening, *seed, *shards, *shardPrecision)
 	if err != nil {
@@ -170,48 +171,112 @@ func run(args []string) error {
 // decodable geohashes.
 var beijingCenter = geo.LatLng{Lat: 39.9042, Lng: 116.4074}
 
-func loadHistory(csvPath string, days int, seed uint64) ([]dataset.Trip, error) {
-	if csvPath != "" {
-		f, err := os.Open(csvPath)
+// streamIngestThreshold is the CSV size above which loadHistory switches
+// to the streaming ingester even without -stream-ingest: past this the
+// materialise-everything path's memory cost dominates the two-pass I/O.
+const streamIngestThreshold = 256 << 20
+
+// loadHistory returns the planar end point of every historical trip —
+// the only piece of a trip the offline plan and the placers consume.
+// Both CSV paths derive the projection centre from the data's own
+// geohash bounding box: hard-coding Beijing would project any other
+// city's trips hundreds of kilometres from the planar origin, far
+// outside the tangent-plane regime.
+func loadHistory(csvPath string, days int, seed uint64, streamIngest bool) ([]geo.Point, error) {
+	if csvPath == "" {
+		trips, err := dataset.Generate(dataset.Config{Days: days, Seed: seed})
 		if err != nil {
 			return nil, err
 		}
-		defer func() { _ = f.Close() }()
-		// Parse first, then derive the projection centre from the
-		// data's own geohash bounding box: hard-coding Beijing would
-		// project any other city's trips hundreds of kilometres from
-		// the planar origin, far outside the tangent-plane regime.
-		trips, err := dataset.ReadCSV(f, nil)
-		if err != nil {
-			return nil, err
-		}
-		if len(trips) == 0 {
-			return trips, nil
-		}
-		center, err := dataset.GeohashCenter(trips)
-		if err != nil {
-			if !errors.Is(err, dataset.ErrNoGeohashes) {
-				return nil, err
-			}
-			center = beijingCenter
-		}
-		if err := dataset.ProjectTrips(trips, geo.NewProjector(center)); err != nil {
-			return nil, err
-		}
-		return trips, nil
+		return dataset.EndPoints(trips), nil
 	}
-	return dataset.Generate(dataset.Config{Days: days, Seed: seed})
+	if !streamIngest {
+		if info, err := os.Stat(csvPath); err == nil && info.Size() >= streamIngestThreshold {
+			log.Printf("trips CSV is %d MiB; switching to streaming ingestion", info.Size()>>20)
+			streamIngest = true
+		}
+	}
+	if streamIngest {
+		return loadHistoryStreaming(csvPath)
+	}
+	f, err := os.Open(csvPath)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }()
+	trips, err := dataset.ReadCSV(f, nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(trips) == 0 {
+		return nil, nil
+	}
+	center, err := dataset.GeohashCenter(trips)
+	if err != nil {
+		if !errors.Is(err, dataset.ErrNoGeohashes) {
+			return nil, err
+		}
+		center = beijingCenter
+	}
+	if err := dataset.ProjectTrips(trips, geo.NewProjector(center)); err != nil {
+		return nil, err
+	}
+	return dataset.EndPoints(trips), nil
 }
 
-// buildPlacers builds one placer per shard. The historical trips are
-// partitioned the same way live requests will route — by the planar
-// cell of their destination — so each shard's offline landmarks are
-// planned from exactly the demand it will serve. A shard whose
-// partition came up empty plans from the full history instead (its
-// engine must still be valid; it simply starts with out-of-region
-// landmarks it will never be asked about). Seeds are staggered by
-// shard index so the shards' online RNG streams are independent.
-func buildPlacers(algorithm string, history []dataset.Trip, opening float64, seed uint64, shards, precision int) ([]core.OnlinePlacer, error) {
+// loadHistoryStreaming is the bounded-memory path: pass 1 reduces the
+// CSV to its geohash bounding boxes and row count, pass 2 streams the
+// projected end points. It never materialises a []dataset.Trip, so peak
+// memory is the scanner's O(chunk × workers) plus the end-point slice —
+// bit-identical output to the materialising path by the differential
+// tests in internal/dataset and TestLoadHistoryStreamingMatches.
+func loadHistoryStreaming(csvPath string) ([]geo.Point, error) {
+	f, err := os.Open(csvPath)
+	if err != nil {
+		return nil, err
+	}
+	var opts dataset.ScanOptions
+	sum, err := dataset.ScanSummarize(f, opts)
+	if closeErr := f.Close(); err == nil {
+		err = closeErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	if sum.Trips == 0 {
+		return nil, nil
+	}
+	center, err := sum.Center()
+	if err != nil {
+		if !errors.Is(err, dataset.ErrNoGeohashes) {
+			return nil, err
+		}
+		center = beijingCenter
+	}
+	f, err = os.Open(csvPath)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }()
+	ends := make([]geo.Point, 0, sum.Trips)
+	if _, err := dataset.ScanEndPoints(f, geo.NewProjector(center), opts, func(pts []geo.Point) error {
+		ends = append(ends, pts...)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return ends, nil
+}
+
+// buildPlacers builds one placer per shard. The historical trip
+// destinations are partitioned the same way live requests will route —
+// by planar cell — so each shard's offline landmarks are planned from
+// exactly the demand it will serve. A shard whose partition came up
+// empty plans from the full history instead (its engine must still be
+// valid; it simply starts with out-of-region landmarks it will never be
+// asked about). Seeds are staggered by shard index so the shards'
+// online RNG streams are independent.
+func buildPlacers(algorithm string, history []geo.Point, opening float64, seed uint64, shards, precision int) ([]core.OnlinePlacer, error) {
 	if shards <= 1 {
 		p, err := buildPlacer(algorithm, history, opening, seed)
 		if err != nil {
@@ -219,10 +284,10 @@ func buildPlacers(algorithm string, history []dataset.Trip, opening float64, see
 		}
 		return []core.OnlinePlacer{p}, nil
 	}
-	parts := make([][]dataset.Trip, shards)
-	for _, trip := range history {
-		i := geo.ShardOf(trip.End, precision, shards)
-		parts[i] = append(parts[i], trip)
+	parts := make([][]geo.Point, shards)
+	for _, end := range history {
+		i := geo.ShardOf(end, precision, shards)
+		parts[i] = append(parts[i], end)
 	}
 	placers := make([]core.OnlinePlacer, shards)
 	for i := range placers {
@@ -249,8 +314,7 @@ func allStations(placers []core.OnlinePlacer) []geo.Point {
 	return out
 }
 
-func buildPlacer(algorithm string, history []dataset.Trip, opening float64, seed uint64) (core.OnlinePlacer, error) {
-	dests := dataset.EndPoints(history)
+func buildPlacer(algorithm string, dests []geo.Point, opening float64, seed uint64) (core.OnlinePlacer, error) {
 	switch algorithm {
 	case "e-sharing":
 		landmarks, err := planLandmarks(dests, opening)

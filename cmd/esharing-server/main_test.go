@@ -21,8 +21,15 @@ func testHistory(t *testing.T) []dataset.Trip {
 	return trips
 }
 
+// testEnds is testHistory reduced to the destination points buildPlacer
+// and buildPlacers now consume.
+func testEnds(t *testing.T) []geo.Point {
+	t.Helper()
+	return dataset.EndPoints(testHistory(t))
+}
+
 func TestBuildPlacer(t *testing.T) {
-	history := testHistory(t)
+	history := testEnds(t)
 	for _, alg := range []string{"e-sharing", "meyerson", "online-kmeans"} {
 		placer, err := buildPlacer(alg, history, 10000, 1)
 		if err != nil {
@@ -38,7 +45,7 @@ func TestBuildPlacer(t *testing.T) {
 }
 
 func TestBuildPlacerESharingHasLandmarks(t *testing.T) {
-	history := testHistory(t)
+	history := testEnds(t)
 	placer, err := buildPlacer("e-sharing", history, 10000, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -49,12 +56,12 @@ func TestBuildPlacerESharingHasLandmarks(t *testing.T) {
 }
 
 func TestLoadHistorySynthetic(t *testing.T) {
-	trips, err := loadHistory("", 2, 5)
+	ends, err := loadHistory("", 2, 5, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(trips) == 0 {
-		t.Error("no synthetic trips")
+	if len(ends) == 0 {
+		t.Error("no synthetic destinations")
 	}
 }
 
@@ -71,15 +78,53 @@ func TestLoadHistoryCSV(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	got, err := loadHistory(path, 0, 0)
+	got, err := loadHistory(path, 0, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != len(trips) {
-		t.Errorf("loaded %d trips, want %d", len(got), len(trips))
+		t.Errorf("loaded %d destinations, want %d", len(got), len(trips))
 	}
-	if _, err := loadHistory(filepath.Join(t.TempDir(), "missing.csv"), 0, 0); err == nil {
+	if _, err := loadHistory(filepath.Join(t.TempDir(), "missing.csv"), 0, 0, false); err == nil {
 		t.Error("missing file should error")
+	}
+	if _, err := loadHistory(filepath.Join(t.TempDir(), "missing.csv"), 0, 0, true); err == nil {
+		t.Error("missing file should error on the streaming path too")
+	}
+}
+
+// TestLoadHistoryStreamingMatches pins the -stream-ingest wiring: the
+// two-pass streaming loader must produce bit-identical destination
+// points to the materialising loader, since both derive the projection
+// centre from the same geohash bounding box and decode the same ends.
+func TestLoadHistoryStreamingMatches(t *testing.T) {
+	trips := testHistory(t)
+	path := filepath.Join(t.TempDir(), "stream.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteCSV(f, trips); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := loadHistory(path, 0, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadHistory(path, 0, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streaming loaded %d destinations, materialising %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("destination %d: streaming %v, materialising %v", i, got[i], want[i])
+		}
 	}
 }
 
@@ -120,22 +165,20 @@ func TestLoadHistoryNonBeijingCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	history, err := loadHistory(path, 0, 0)
+	history, err := loadHistory(path, 0, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(history) != len(trips) {
-		t.Fatalf("loaded %d trips, want %d", len(history), len(trips))
+		t.Fatalf("loaded %d destinations, want %d", len(history), len(trips))
 	}
-	for _, tr := range history {
-		for _, p := range [2]geo.Point{tr.Start, tr.End} {
-			if !p.IsFinite() || p.Norm() > 50_000 {
-				t.Fatalf("trip %d projects to %v: projection centre not derived from the data", tr.OrderID, p)
-			}
+	for i, p := range history {
+		if !p.IsFinite() || p.Norm() > 50_000 {
+			t.Fatalf("destination %d projects to %v: projection centre not derived from the data", i, p)
 		}
 	}
 	// The offline plan must land inside the dataset's own geography.
-	landmarks, err := planLandmarks(dataset.EndPoints(history), 10000)
+	landmarks, err := planLandmarks(history, 10000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,12 +221,12 @@ func TestStartupFromOneTripCSV(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	history, err := loadHistory(path, 0, 0)
+	history, err := loadHistory(path, 0, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(history) != 1 {
-		t.Fatalf("loaded %d trips, want 1", len(history))
+		t.Fatalf("loaded %d destinations, want 1", len(history))
 	}
 	placer, err := buildPlacer("e-sharing", history, 10000, 1)
 	if err != nil {
@@ -212,7 +255,7 @@ func TestPlanLandmarksDegenerateHistories(t *testing.T) {
 }
 
 func TestBuildFleet(t *testing.T) {
-	history := testHistory(t)
+	history := testEnds(t)
 	placer, err := buildPlacer("e-sharing", history, 10000, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -239,7 +282,7 @@ func TestBuildFleet(t *testing.T) {
 // city-scale history fits inside one precision-4 cell, so most shards
 // plan from the full history).
 func TestBuildPlacersSharded(t *testing.T) {
-	history := testHistory(t)
+	history := testEnds(t)
 
 	one, err := buildPlacers("e-sharing", history, 10000, 1, 1, 4)
 	if err != nil {
@@ -278,8 +321,8 @@ func TestBuildPlacersSharded(t *testing.T) {
 		t.Fatalf("2-shard build returned %d placers", len(fine))
 	}
 	var want [2]int
-	for _, trip := range history {
-		want[geo.ShardOf(trip.End, 12, 2)]++
+	for _, end := range history {
+		want[geo.ShardOf(end, 12, 2)]++
 	}
 	if want[0] == 0 || want[1] == 0 {
 		t.Fatalf("precision-12 partition degenerate: %v", want)
@@ -293,7 +336,7 @@ func TestBuildPlacersSharded(t *testing.T) {
 // TestAllStations: the startup station union concatenates in shard
 // order, matching the order /v1/stations serves.
 func TestAllStations(t *testing.T) {
-	history := testHistory(t)
+	history := testEnds(t)
 	placers, err := buildPlacers("e-sharing", history, 10000, 1, 3, 4)
 	if err != nil {
 		t.Fatal(err)

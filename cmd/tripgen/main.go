@@ -54,11 +54,6 @@ func run(args []string, stdout io.Writer) error {
 		}
 		cfg.Surges = []dataset.Surge{surge}
 	}
-	trips, err := dataset.Generate(cfg)
-	if err != nil {
-		return fmt.Errorf("generate: %w", err)
-	}
-
 	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -68,11 +63,37 @@ func run(args []string, stdout io.Writer) error {
 		defer func() { _ = f.Close() }()
 		w = f
 	}
-	if err := dataset.WriteCSV(w, trips); err != nil {
+	// Stream one day at a time so peak memory is a single day of trips
+	// regardless of -days; the emitted bytes are identical to
+	// Generate + WriteCSV because days are generated and sorted in order.
+	// The header is written on the first emit so a config error still
+	// produces no output at all.
+	cw := dataset.NewCSVWriter(w)
+	var total int
+	wroteHeader := false
+	err := dataset.GenerateStream(cfg, func(_ int, trips []dataset.Trip) error {
+		if !wroteHeader {
+			if err := cw.WriteHeader(); err != nil {
+				return err
+			}
+			wroteHeader = true
+		}
+		total += len(trips)
+		return cw.WriteTrips(trips)
+	})
+	if err != nil {
+		return fmt.Errorf("generate: %w", err)
+	}
+	if !wroteHeader {
+		if err := cw.WriteHeader(); err != nil {
+			return fmt.Errorf("write csv: %w", err)
+		}
+	}
+	if err := cw.Flush(); err != nil {
 		return fmt.Errorf("write csv: %w", err)
 	}
 	if *out != "" {
-		fmt.Fprintf(os.Stderr, "wrote %d trips to %s\n", len(trips), *out)
+		fmt.Fprintf(os.Stderr, "wrote %d trips to %s\n", total, *out)
 	}
 	return nil
 }

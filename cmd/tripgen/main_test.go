@@ -26,6 +26,36 @@ func TestRunGeneratesCSV(t *testing.T) {
 	}
 }
 
+// TestRunMatchesMaterializedWriter pins the streaming day-by-day output
+// against the reference Generate + WriteCSV pipeline byte for byte, so
+// switching tripgen to GenerateStream cannot change any existing
+// artifact.
+func TestRunMatchesMaterializedWriter(t *testing.T) {
+	var got bytes.Buffer
+	err := run([]string{"-days", "3", "-weekday", "120", "-weekend", "90", "-bikes", "25", "-seed", "7", "-surge", "1:19:60"}, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surge, err := parseSurge("1:19:60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trips, err := dataset.Generate(dataset.Config{
+		Days: 3, TripsWeekday: 120, TripsWeekend: 90, Bikes: 25, Seed: 7,
+		Surges: []dataset.Surge{surge},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := dataset.WriteCSV(&want, trips); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("streaming output differs from materialized output (%d vs %d bytes)", got.Len(), want.Len())
+	}
+}
+
 func TestRunWritesFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "trips.csv")
 	var buf bytes.Buffer

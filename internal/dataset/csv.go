@@ -6,7 +6,10 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 	"time"
+	"unicode"
+	"unicode/utf8"
 
 	"repro/internal/geo"
 )
@@ -31,27 +34,129 @@ const csvTimeLayout = "2006-01-02 15:04:05"
 // Mobike schema header.
 var ErrBadHeader = errors.New("dataset: unexpected CSV header")
 
-// WriteCSV writes trips in the Mobike schema.
+// WriteCSV writes trips in the Mobike schema. Output is byte-identical
+// to encoding/csv's (the CSVWriter it delegates to replicates its
+// quoting rules), without the seven per-trip strconv.Format* strings the
+// previous implementation allocated.
 func WriteCSV(w io.Writer, trips []Trip) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(csvHeader); err != nil {
+	cw := NewCSVWriter(w)
+	if err := cw.WriteHeader(); err != nil {
 		return fmt.Errorf("write header: %w", err)
 	}
-	rec := make([]string, len(csvHeader))
-	for _, t := range trips {
-		rec[0] = strconv.FormatInt(t.OrderID, 10)
-		rec[1] = strconv.FormatInt(t.UserID, 10)
-		rec[2] = strconv.FormatInt(t.BikeID, 10)
-		rec[3] = strconv.Itoa(t.BikeType)
-		rec[4] = t.StartTime.Format(csvTimeLayout)
-		rec[5] = t.StartGeohash
-		rec[6] = t.EndGeohash
-		if err := cw.Write(rec); err != nil {
-			return fmt.Errorf("write trip %d: %w", t.OrderID, err)
+	if err := cw.WriteTrips(trips); err != nil {
+		return err
+	}
+	return cw.Flush()
+}
+
+// CSVWriter streams trips in the Mobike schema through a reused append
+// buffer: integers via strconv.AppendInt, the timestamp via
+// Time.AppendFormat, geohashes quoted exactly as encoding/csv would
+// (byte-identical output). Zero allocations per trip once the buffer is
+// warm, so tripgen can generate multi-GB fixtures at disk speed.
+type CSVWriter struct {
+	w   io.Writer
+	buf []byte
+}
+
+// csvFlushAt bounds the internal buffer: WriteTrips flushes whenever the
+// buffer exceeds it, keeping memory O(1) in the trip count.
+const csvFlushAt = 64 << 10
+
+// NewCSVWriter returns a streaming writer. Call WriteHeader, then any
+// number of WriteTrips, then Flush.
+func NewCSVWriter(w io.Writer) *CSVWriter {
+	return &CSVWriter{w: w}
+}
+
+// WriteHeader writes the canonical Mobike column header.
+func (cw *CSVWriter) WriteHeader() error {
+	for i, col := range csvHeader {
+		if i > 0 {
+			cw.buf = append(cw.buf, ',')
+		}
+		cw.buf = appendCSVField(cw.buf, col)
+	}
+	cw.buf = append(cw.buf, '\n')
+	return cw.maybeFlush()
+}
+
+// WriteTrips appends trips, flushing the internal buffer as it fills.
+func (cw *CSVWriter) WriteTrips(trips []Trip) error {
+	for i := range trips {
+		t := &trips[i]
+		cw.buf = strconv.AppendInt(cw.buf, t.OrderID, 10)
+		cw.buf = append(cw.buf, ',')
+		cw.buf = strconv.AppendInt(cw.buf, t.UserID, 10)
+		cw.buf = append(cw.buf, ',')
+		cw.buf = strconv.AppendInt(cw.buf, t.BikeID, 10)
+		cw.buf = append(cw.buf, ',')
+		cw.buf = strconv.AppendInt(cw.buf, int64(t.BikeType), 10)
+		cw.buf = append(cw.buf, ',')
+		cw.buf = t.StartTime.AppendFormat(cw.buf, csvTimeLayout)
+		cw.buf = append(cw.buf, ',')
+		cw.buf = appendCSVField(cw.buf, t.StartGeohash)
+		cw.buf = append(cw.buf, ',')
+		cw.buf = appendCSVField(cw.buf, t.EndGeohash)
+		cw.buf = append(cw.buf, '\n')
+		if len(cw.buf) > csvFlushAt {
+			if err := cw.flush(); err != nil {
+				return fmt.Errorf("write trip %d: %w", t.OrderID, err)
+			}
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return nil
+}
+
+// Flush writes any buffered bytes through.
+func (cw *CSVWriter) Flush() error { return cw.flush() }
+
+func (cw *CSVWriter) maybeFlush() error {
+	if len(cw.buf) > csvFlushAt {
+		return cw.flush()
+	}
+	return nil
+}
+
+func (cw *CSVWriter) flush() error {
+	if len(cw.buf) == 0 {
+		return nil
+	}
+	_, err := cw.w.Write(cw.buf)
+	cw.buf = cw.buf[:0]
+	return err
+}
+
+// appendCSVField appends s, quoting exactly when encoding/csv's
+// fieldNeedsQuotes would: on a comma, quote, CR or LF anywhere, a
+// leading space rune, or the literal `\.`.
+func appendCSVField(buf []byte, s string) []byte {
+	if !csvFieldNeedsQuotes(s) {
+		return append(buf, s...)
+	}
+	buf = append(buf, '"')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' {
+			buf = append(buf, '"', '"')
+		} else {
+			buf = append(buf, s[i])
+		}
+	}
+	return append(buf, '"')
+}
+
+func csvFieldNeedsQuotes(s string) bool {
+	if s == "" {
+		return false
+	}
+	if s == `\.` {
+		return true // encoding/csv guards Postgres's end-of-data marker
+	}
+	if strings.ContainsAny(s, ",\"\r\n") {
+		return true
+	}
+	r, _ := utf8.DecodeRuneInString(s)
+	return unicode.IsSpace(r)
 }
 
 // ReadCSV parses trips in the Mobike schema, projecting geohash centres
@@ -70,18 +175,22 @@ func ReadCSV(r io.Reader, projector *geo.Projector) ([]Trip, error) {
 		}
 	}
 	var trips []Trip
-	line := 1
 	for {
 		rec, err := cr.Read()
 		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("read line %d: %w", line, err)
+			// csv.ParseError already carries the 1-based file line.
+			return nil, fmt.Errorf("read: %w", err)
 		}
-		line++
 		t, err := parseTrip(rec, projector)
 		if err != nil {
+			// FieldPos reports the 1-based file line the record started
+			// on (the header is line 1), consistent with csv's own
+			// ParseError positions — blank and multi-line rows no
+			// longer skew the count.
+			line, _ := cr.FieldPos(0)
 			return nil, fmt.Errorf("line %d: %w", line, err)
 		}
 		trips = append(trips, t)

@@ -296,9 +296,28 @@ func originKindWeight(kind POIKind, weekend bool, hour int) float64 {
 
 // Generate produces a sorted, schema-complete synthetic trip log.
 func Generate(cfg Config) ([]Trip, error) {
+	var trips []Trip
+	err := GenerateStream(cfg, func(_ int, day []Trip) error {
+		trips = append(trips, day...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return trips, nil
+}
+
+// GenerateStream produces exactly the trips Generate would, one day at a
+// time in order, so multi-GB fixtures can be written without holding the
+// whole log: peak memory is one day of trips. The emitted slice is
+// reused between days; copy to retain. Byte-identity with Generate holds
+// because days are time-disjoint and (StartTime, OrderID) is a total
+// order, so sorting each day independently and concatenating equals the
+// global sort.
+func GenerateStream(cfg Config, emit func(day int, trips []Trip) error) error {
 	cfg.applyDefaults()
 	if err := cfg.validate(); err != nil {
-		return nil, err
+		return err
 	}
 	rng := stats.NewRNGStream(cfg.Seed, stats.StreamDataset)
 	projector := geo.NewProjector(cfg.Origin)
@@ -318,6 +337,7 @@ func Generate(cfg Config) ([]Trip, error) {
 	var trips []Trip
 	orderID := int64(1)
 	for day := 0; day < cfg.Days; day++ {
+		trips = trips[:0]
 		date := cfg.Start.AddDate(0, 0, day)
 		wd := date.Weekday()
 		weekend := wd == time.Saturday || wd == time.Sunday
@@ -356,14 +376,17 @@ func Generate(cfg Config) ([]Trip, error) {
 				orderID++
 			}
 		}
-	}
-	sort.Slice(trips, func(i, j int) bool {
-		if !trips[i].StartTime.Equal(trips[j].StartTime) {
-			return trips[i].StartTime.Before(trips[j].StartTime)
+		sort.Slice(trips, func(i, j int) bool {
+			if !trips[i].StartTime.Equal(trips[j].StartTime) {
+				return trips[i].StartTime.Before(trips[j].StartTime)
+			}
+			return trips[i].OrderID < trips[j].OrderID
+		})
+		if err := emit(day, trips); err != nil {
+			return err
 		}
-		return trips[i].OrderID < trips[j].OrderID
-	})
-	return trips, nil
+	}
+	return nil
 }
 
 func genTrip(

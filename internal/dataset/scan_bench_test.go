@@ -1,0 +1,173 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// benchCSVData renders a synthetic multi-day Mobike CSV once per
+// process so the benchmarks measure parsing, not generation.
+var benchCSVData []byte
+var benchCSVRows int
+
+func benchCSV(b *testing.B) ([]byte, int) {
+	b.Helper()
+	if benchCSVData == nil {
+		var buf bytes.Buffer
+		cw := NewCSVWriter(&buf)
+		if err := cw.WriteHeader(); err != nil {
+			b.Fatal(err)
+		}
+		err := GenerateStream(Config{
+			Days: 5, TripsWeekday: 16000, TripsWeekend: 12000, Bikes: 400, Seed: 11,
+		}, func(_ int, trips []Trip) error {
+			benchCSVRows += len(trips)
+			return cw.WriteTrips(trips)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := cw.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		benchCSVData = buf.Bytes()
+	}
+	return benchCSVData, benchCSVRows
+}
+
+// BenchmarkReadCSV is the encoding/csv materialising baseline the
+// streaming scanner is measured against (see ingest/* in
+// BENCH_compute.json).
+func BenchmarkReadCSV(b *testing.B) {
+	data, _ := benchCSV(b)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadCSV(bytes.NewReader(data), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngestCSV is the zero-alloc streaming scanner at one worker,
+// semantics-matched to BenchmarkReadCSV (geohashes kept as bytes, not
+// decoded). The ns ratio between the two is the single-thread speedup.
+func BenchmarkIngestCSV(b *testing.B) {
+	data, rows := benchCSV(b)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	opts := ScanOptions{Workers: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n int
+		err := IngestCSV(bytes.NewReader(data), opts, func(batch []RawTrip) error {
+			n += len(batch)
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != rows {
+			b.Fatalf("scanned %d rows, want %d", n, rows)
+		}
+	}
+}
+
+// BenchmarkIngestCSVDecode adds geohash decoding, the configuration the
+// bounded-memory demand pipeline runs with.
+func BenchmarkIngestCSVDecode(b *testing.B) {
+	data, rows := benchCSV(b)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	opts := ScanOptions{Workers: 1, DecodeGeohashes: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n int
+		err := IngestCSV(bytes.NewReader(data), opts, func(batch []RawTrip) error {
+			n += len(batch)
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != rows {
+			b.Fatalf("scanned %d rows, want %d", n, rows)
+		}
+	}
+}
+
+// BenchmarkIngestCSVParallel runs the deterministic parallel parse at 4
+// workers; output is bit-identical to one worker by construction.
+func BenchmarkIngestCSVParallel(b *testing.B) {
+	data, rows := benchCSV(b)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	opts := ScanOptions{Workers: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n int
+		err := IngestCSV(bytes.NewReader(data), opts, func(batch []RawTrip) error {
+			n += len(batch)
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != rows {
+			b.Fatalf("scanned %d rows, want %d", n, rows)
+		}
+	}
+}
+
+// BenchmarkScanSummarize is the pass-1 reducer of the streaming
+// pipeline: per-trip geohash decode folded straight into the bounding
+// boxes, no []Trip.
+func BenchmarkScanSummarize(b *testing.B) {
+	data, rows := benchCSV(b)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, err := ScanSummarize(bytes.NewReader(data), ScanOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.Trips != int64(rows) {
+			b.Fatalf("summarized %d rows, want %d", sum.Trips, rows)
+		}
+	}
+}
+
+// BenchmarkScanEndPoints is the pass-2 reducer: decode, project and
+// visit every destination without materializing trips.
+func BenchmarkScanEndPoints(b *testing.B) {
+	data, rows := benchCSV(b)
+	sum, err := ScanSummarize(bytes.NewReader(data), ScanOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	center, err := sum.Center()
+	if err != nil {
+		b.Fatal(err)
+	}
+	projector := geo.NewProjector(center)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n int
+		total, err := ScanEndPoints(bytes.NewReader(data), projector, ScanOptions{}, func(pts []geo.Point) error {
+			n += len(pts)
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if total != int64(rows) || n != rows {
+			b.Fatalf("visited %d/%d points, want %d", n, total, rows)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package dataset
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+// TestIngestBoundedMemory is the Mobike-scale acceptance check: a
+// multi-million-row CSV is aggregated into a demand grid through the
+// two-pass streaming pipeline without ever materializing a []Trip, and
+// the heap stays O(chunk x workers) rather than O(rows). The row count
+// defaults to 2M so plain `go test ./...` stays fast; set
+// ESHARING_INGEST_ROWS=10000000 to reproduce the 10M-row run recorded
+// in EXPERIMENTS.md.
+func TestIngestBoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-million-row fixture; skipped with -short")
+	}
+	rows := 2_000_000
+	if s := os.Getenv("ESHARING_INGEST_ROWS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad ESHARING_INGEST_ROWS=%q", s)
+		}
+		rows = n
+	}
+	path := filepath.Join(t.TempDir(), "big.csv")
+	writeBigFixture(t, path, rows)
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	opts := ScanOptions{}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := ScanSummarize(f, opts)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Trips != int64(rows) {
+		t.Fatalf("summarized %d rows, want %d", sum.Trips, rows)
+	}
+	center, err := sum.Center()
+	if err != nil {
+		t.Fatal(err)
+	}
+	projector := geo.NewProjector(center)
+	box, ok := sum.EndBounds(projector)
+	if !ok {
+		t.Fatal("no end bounds")
+	}
+	acc, err := core.NewDemandAccumulator(box, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err = os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := ScanEndPoints(f, projector, opts, func(pts []geo.Point) error {
+		acc.AddAll(pts)
+		return nil
+	})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(rows) {
+		t.Fatalf("aggregated %d rows, want %d", n, rows)
+	}
+
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	demands, err := acc.Demands()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(demands) == 0 {
+		t.Fatal("empty demand grid")
+	}
+	var arrivals float64
+	for _, d := range demands {
+		arrivals += d.Arrivals
+	}
+	if arrivals != float64(rows) {
+		t.Fatalf("demand grid holds %.0f arrivals, want %d", arrivals, rows)
+	}
+
+	// Materializing []Trip for this fixture would allocate >150 bytes per
+	// row (plus two geohash strings); the streaming pipeline must stay
+	// independent of the row count. TotalAlloc covers everything the two
+	// passes allocated, even if it was collected mid-run.
+	allocated := after.TotalAlloc - before.TotalAlloc
+	const allocBudget = 128 << 20
+	if allocated > allocBudget {
+		t.Errorf("streaming passes allocated %d MiB total, budget %d MiB",
+			allocated>>20, allocBudget>>20)
+	}
+	if after.HeapAlloc > 256<<20 {
+		t.Errorf("heap is %d MiB after streaming aggregation, want < 256 MiB",
+			after.HeapAlloc>>20)
+	}
+	t.Logf("rows=%d demandCells=%d totalAlloc=%dMiB heap=%dMiB",
+		rows, len(demands), allocated>>20, after.HeapAlloc>>20)
+}
+
+// writeBigFixture streams a synthetic Mobike CSV of the given row count
+// to disk, varying trips over a grid of real geohashes around Beijing
+// without holding more than one record in memory.
+func writeBigFixture(t *testing.T, path string, rows int) {
+	t.Helper()
+	const side = 40
+	hashes := make([]string, 0, side*side)
+	for i := 0; i < side; i++ {
+		for j := 0; j < side; j++ {
+			h, err := geo.EncodeGeohash(geo.LatLng{
+				Lat: 39.8 + 0.005*float64(i),
+				Lng: 116.3 + 0.005*float64(j),
+			}, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hashes = append(hashes, h)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	cw := NewCSVWriter(bw)
+	if err := cw.WriteHeader(); err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2017, 5, 10, 0, 0, 0, 0, time.UTC)
+	trip := make([]Trip, 1)
+	for i := 0; i < rows; i++ {
+		trip[0] = Trip{
+			OrderID:      int64(i + 1),
+			UserID:       int64(i%100_000 + 1),
+			BikeID:       int64(i%50_000 + 1),
+			BikeType:     1 + i%2,
+			StartTime:    base.Add(time.Duration(i%86_400) * time.Second),
+			StartGeohash: hashes[i%len(hashes)],
+			EndGeohash:   hashes[(i*7+3)%len(hashes)],
+		}
+		if err := cw.WriteTrips(trip); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fixture: %d rows, %d MiB", rows, info.Size()>>20)
+}

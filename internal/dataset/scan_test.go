@@ -1,0 +1,540 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+// The differential matrix: every input is parsed by sequential ReadCSV
+// and by the streaming scanner at several worker counts and chunk sizes
+// (including sizes small enough to force chunk boundaries mid-record and
+// mid-quoted-field), with and without a projector. Both codecs must
+// agree: same error-or-not, and bit-identical trips on success.
+
+var diffWorkers = []int{1, 2, 4, 7}
+var diffChunks = []int{3, 7, 53, 1 << 12, 1 << 20}
+
+func diffCodecs(t *testing.T, input string) {
+	t.Helper()
+	projectors := []*geo.Projector{nil, geo.NewProjector(geo.LatLng{Lat: 39.9, Lng: 116.4})}
+	for pi, projector := range projectors {
+		want, wantErr := ReadCSV(strings.NewReader(input), projector)
+		for _, workers := range diffWorkers {
+			for _, chunk := range diffChunks {
+				opts := ScanOptions{ChunkSize: chunk, Workers: workers}
+				got, gotErr := ReadCSVStreaming(strings.NewReader(input), projector, opts)
+				if (wantErr != nil) != (gotErr != nil) {
+					t.Fatalf("projector=%d workers=%d chunk=%d: ReadCSV err=%v, streaming err=%v\ninput: %q",
+						pi, workers, chunk, wantErr, gotErr, input)
+				}
+				if wantErr != nil {
+					continue
+				}
+				if len(got) != len(want) {
+					t.Fatalf("projector=%d workers=%d chunk=%d: %d trips, want %d\ninput: %q",
+						pi, workers, chunk, len(got), len(want), input)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("projector=%d workers=%d chunk=%d: trip %d = %+v, want %+v",
+							pi, workers, chunk, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+const goodRow = "1,2,3,1,2017-05-10 08:30:00,wx4g0bm,wx4g0bn\n"
+
+func TestStreamingMatchesReadCSVEdgeCases(t *testing.T) {
+	hdr := strings.Join(csvHeader, ",")
+	cases := map[string]string{
+		"empty file":              "",
+		"header only":             hdr + "\n",
+		"header only no newline":  hdr,
+		"header crlf only":        hdr + "\r\n",
+		"one row":                 hdr + "\n" + goodRow,
+		"no trailing newline":     hdr + "\n" + strings.TrimSuffix(goodRow, "\n"),
+		"crlf endings":            hdr + "\r\n" + strings.ReplaceAll(goodRow, "\n", "\r\n") + "2,2,3,2,2017-05-11 09:00:00,wx4g0bm,wx4g0bn\r\n",
+		"crlf no trailing":        hdr + "\r\n1,2,3,1,2017-05-10 08:30:00,wx4g0bm,wx4g0bn\r",
+		"blank lines before hdr":  "\n\r\n" + hdr + "\n" + goodRow,
+		"blank lines between":     hdr + "\n\n" + goodRow + "\r\n\n" + goodRow,
+		"trailing blank lines":    hdr + "\n" + goodRow + "\n\n",
+		"one digit hour":          hdr + "\n1,2,3,1,2017-05-10 8:30:00,wx4g0bm,wx4g0bn\n",
+		"quoted geohash":          hdr + "\n1,2,3,1,2017-05-10 08:30:00,\"wx4g0bm\",wx4g0bn\n",
+		"quoted comma":            hdr + "\n1,2,3,1,2017-05-10 08:30:00,\"wx,bad\",wx4g0bn\n",
+		"quoted newline":          hdr + "\n1,2,3,1,2017-05-10 08:30:00,\"wx\n4\",wx4g0bn\n",
+		"quoted crlf":             hdr + "\n1,2,3,1,2017-05-10 08:30:00,\"wx\r\n4\",wx4g0bn\n",
+		"quoted escaped quote":    hdr + "\n1,2,3,1,2017-05-10 08:30:00,\"wx\"\"4\",wx4g0bn\n",
+		"quoted header":           "\"orderid\"," + strings.Join(csvHeader[1:], ",") + "\n" + goodRow,
+		"lone cr in field":        hdr + "\n1,2,3,1,2017-05-10 08:30:00,wx\r4,wx4g0bn\n",
+		"trailing cr at eof":      hdr + "\n" + strings.TrimSuffix(goodRow, "\n") + "\r",
+		"wrong field count":       hdr + "\n1,2,3\n",
+		"too many fields":         hdr + "\n" + strings.TrimSuffix(goodRow, "\n") + ",extra\n",
+		"bad int":                 hdr + "\n1,2,x,1,2017-05-10 08:30:00,wx4g0bm,wx4g0bn\n",
+		"int overflow":            hdr + "\n99999999999999999999,2,3,1,2017-05-10 08:30:00,wx4g0bm,wx4g0bn\n",
+		"negative ids":            hdr + "\n-1,-2,-3,-1,2017-05-10 08:30:00,wx4g0bm,wx4g0bn\n",
+		"plus sign ids":           hdr + "\n+1,+2,+3,+1,2017-05-10 08:30:00,wx4g0bm,wx4g0bn\n",
+		"bad time feb30":          hdr + "\n1,2,3,1,2017-02-30 08:30:00,wx4g0bm,wx4g0bn\n",
+		"bad time month13":        hdr + "\n1,2,3,1,2017-13-10 08:30:00,wx4g0bm,wx4g0bn\n",
+		"bad time short":          hdr + "\n1,2,3,1,2017-05-10 08:30,wx4g0bm,wx4g0bn\n",
+		"bad time trailing":       hdr + "\n1,2,3,1,2017-05-10 08:30:00x,wx4g0bm,wx4g0bn\n",
+		"leap day ok":             hdr + "\n1,2,3,1,2016-02-29 23:59:59,wx4g0bm,wx4g0bn\n",
+		"bad geohash":             hdr + "\n1,2,3,1,2017-05-10 08:30:00,IIII,wx4g0bn\n",
+		"empty geohash":           hdr + "\n1,2,3,1,2017-05-10 08:30:00,,wx4g0bn\n",
+		"bare quote":              hdr + "\n1,2,3,1,2017-05-10 08:30:00,wx\"4,wx4g0bn\n",
+		"unterminated quote":      hdr + "\n1,2,3,1,2017-05-10 08:30:00,\"wx4,wx4g0bn\n",
+		"quote then junk":         hdr + "\n1,2,3,1,2017-05-10 08:30:00,\"wx4\"j,wx4g0bn\n",
+		"bad header":              "orderid,userid\n" + goodRow,
+		"wrong header name":       "orderidx," + strings.Join(csvHeader[1:], ",") + "\n" + goodRow,
+		"header extra column":     hdr + ",extra\n" + goodRow,
+		"garbage":                 "\x00\xff\xfe,,,\"\n\r",
+		"many rows tiny chunks":   hdr + "\n" + strings.Repeat(goodRow, 40),
+		"error after many rows":   hdr + "\n" + strings.Repeat(goodRow, 17) + "bad,row\n",
+		"blank then error":        hdr + "\n\n\nbad,row\n",
+		"space padded fields":     hdr + "\n 1,2,3,1,2017-05-10 08:30:00,wx4g0bm,wx4g0bn\n",
+		"empty last field":        hdr + "\n1,2,3,1,2017-05-10 08:30:00,wx4g0bm,\n",
+		"quoted row then normal":  hdr + "\n1,2,3,1,2017-05-10 08:30:00,\"wx4g0bm\",wx4g0bn\n" + goodRow,
+		"min int64":               hdr + "\n-9223372036854775808,2,3,1,2017-05-10 08:30:00,wx4g0bm,wx4g0bn\n",
+		"int64 overflow by one":   hdr + "\n9223372036854775808,2,3,1,2017-05-10 08:30:00,wx4g0bm,wx4g0bn\n",
+		"underscore int rejected": hdr + "\n1_0,2,3,1,2017-05-10 08:30:00,wx4g0bm,wx4g0bn\n",
+	}
+	for name, input := range cases {
+		t.Run(name, func(t *testing.T) { diffCodecs(t, input) })
+	}
+}
+
+func TestStreamingMatchesReadCSVGenerated(t *testing.T) {
+	trips, err := Generate(Config{Days: 3, Seed: 11, TripsWeekday: 120, TripsWeekend: 80, Bikes: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, trips); err != nil {
+		t.Fatal(err)
+	}
+	diffCodecs(t, sb.String())
+}
+
+// TestReadCSVErrorLineNumbers is the satellite regression test: both
+// codecs must report the 1-based file line of a broken record, with the
+// header on line 1, even after blank lines and multi-line quoted rows.
+func TestReadCSVErrorLineNumbers(t *testing.T) {
+	hdr := strings.Join(csvHeader, ",")
+	cases := []struct {
+		name  string
+		input string
+		line  int
+	}{
+		{"first data row", hdr + "\nbad,row\n", 2},
+		{"after good row", hdr + "\n" + goodRow + "1,2,x,1,2017-05-10 08:30:00,wx4g0bm,wx4g0bn\n", 3},
+		{"after blank lines", hdr + "\n\n\n" + goodRow + "\nbad,row\n", 6},
+		{"after multiline quoted", hdr + "\n1,2,3,1,2017-05-10 08:30:00,\"wx\n4\",wx4g0bn\nbad,row\n", 4},
+		{"bad time row", hdr + "\n" + goodRow + goodRow + "1,2,3,1,2017-05-99 08:30:00,wx4g0bm,wx4g0bn\n", 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadCSV(strings.NewReader(tc.input), nil)
+			if err == nil {
+				t.Fatalf("ReadCSV accepted %q", tc.input)
+			}
+			if want := fmt.Sprintf("line %d", tc.line); !strings.Contains(err.Error(), want) {
+				t.Fatalf("ReadCSV error %q does not name %q", err, want)
+			}
+			_, err = ReadCSVStreaming(strings.NewReader(tc.input), nil, ScanOptions{ChunkSize: 16, Workers: 3})
+			if err == nil {
+				t.Fatalf("streaming accepted %q", tc.input)
+			}
+			var rowErr *RowError
+			if errors.As(err, &rowErr) {
+				if rowErr.Line != tc.line {
+					t.Fatalf("streaming reported line %d, want %d (err %v)", rowErr.Line, tc.line, err)
+				}
+			} else if want := fmt.Sprintf("line %d", tc.line); !strings.Contains(err.Error(), want) {
+				t.Fatalf("streaming error %q does not name %q", err, want)
+			}
+		})
+	}
+}
+
+// TestScanSummaryMatchesMaterialized pins the tentpole reductions to
+// their materialised counterparts, bit for bit: Center to GeohashCenter,
+// EndBounds to geo.Bound over the projected end points, and the
+// ScanEndPoints stream to EndPoints(ProjectTrips(...)).
+func TestScanSummaryMatchesMaterialized(t *testing.T) {
+	trips, err := Generate(Config{Days: 2, Seed: 5, TripsWeekday: 150, TripsWeekend: 100, Bikes: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, trips); err != nil {
+		t.Fatal(err)
+	}
+	input := sb.String()
+
+	raw, err := ReadCSV(strings.NewReader(input), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCenter, err := GeohashCenter(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	projector := geo.NewProjector(wantCenter)
+	if err := ProjectTrips(raw, projector); err != nil {
+		t.Fatal(err)
+	}
+	ends := EndPoints(raw)
+	wantBox := geo.Bound(ends)
+
+	for _, workers := range diffWorkers {
+		opts := ScanOptions{ChunkSize: 97, Workers: workers}
+		sum, err := ScanSummarize(strings.NewReader(input), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Trips != int64(len(raw)) {
+			t.Fatalf("workers=%d: summary counted %d trips, want %d", workers, sum.Trips, len(raw))
+		}
+		center, err := sum.Center()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if center != wantCenter {
+			t.Fatalf("workers=%d: centre %v, want %v", workers, center, wantCenter)
+		}
+		box, ok := sum.EndBounds(projector)
+		if !ok {
+			t.Fatal("EndBounds reported no end geohashes")
+		}
+		if box != wantBox {
+			t.Fatalf("workers=%d: end bounds %v, want %v", workers, box, wantBox)
+		}
+		var got []geo.Point
+		n, err := ScanEndPoints(strings.NewReader(input), projector, opts, func(pts []geo.Point) error {
+			got = append(got, pts...)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(len(ends)) || len(got) != len(ends) {
+			t.Fatalf("workers=%d: streamed %d/%d end points, want %d", workers, n, len(got), len(ends))
+		}
+		for i := range ends {
+			if got[i] != ends[i] {
+				t.Fatalf("workers=%d: end point %d = %v, want %v", workers, i, got[i], ends[i])
+			}
+		}
+	}
+}
+
+// TestStreamingDemandMatchesAggregate builds a demand grid through the
+// streaming accumulator — never materialising the point slice — and
+// requires bit-identity with core.AggregateDemand over the materialised
+// points, at every worker count.
+func TestStreamingDemandMatchesAggregate(t *testing.T) {
+	trips, err := Generate(Config{Days: 2, Seed: 9, TripsWeekday: 200, TripsWeekend: 140, Bikes: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, trips); err != nil {
+		t.Fatal(err)
+	}
+	input := sb.String()
+
+	raw, err := ReadCSV(strings.NewReader(input), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	center, err := GeohashCenter(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	projector := geo.NewProjector(center)
+	if err := ProjectTrips(raw, projector); err != nil {
+		t.Fatal(err)
+	}
+	const cell = 100.0
+	want, err := core.AggregateDemand(EndPoints(raw), cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range diffWorkers {
+		opts := ScanOptions{ChunkSize: 211, Workers: workers}
+		sum, err := ScanSummarize(strings.NewReader(input), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scanCenter, err := sum.Center()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if scanCenter != center {
+			t.Fatalf("workers=%d: centre %v, want %v", workers, scanCenter, center)
+		}
+		box, ok := sum.EndBounds(projector)
+		if !ok {
+			t.Fatal("no end bounds")
+		}
+		acc, err := core.NewDemandAccumulator(box, cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ScanEndPoints(strings.NewReader(input), projector, opts, func(pts []geo.Point) error {
+			acc.AddAll(pts)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := acc.Demands()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d demand cells, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: demand %d = %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCSVWriterMatchesEncodingCSV pins the scratch-buffer writer to
+// encoding/csv byte for byte, including fields that need quoting.
+func TestCSVWriterMatchesEncodingCSV(t *testing.T) {
+	ts := time.Date(2017, time.May, 10, 8, 30, 0, 0, time.UTC)
+	trips := []Trip{
+		{OrderID: 1, UserID: 2, BikeID: 3, BikeType: 1, StartTime: ts, StartGeohash: "wx4g0bm", EndGeohash: "wx4g0bn"},
+		{OrderID: -4, UserID: 0, BikeID: 9_000_000_000, BikeType: 2, StartTime: ts, StartGeohash: `wx"4`, EndGeohash: "wx,4"},
+		{OrderID: 5, UserID: 6, BikeID: 7, BikeType: 1, StartTime: ts, StartGeohash: "a\nb", EndGeohash: "a\rb"},
+		{OrderID: 8, UserID: 9, BikeID: 10, BikeType: 1, StartTime: ts, StartGeohash: " lead", EndGeohash: "\ttab"},
+		{OrderID: 11, UserID: 12, BikeID: 13, BikeType: 1, StartTime: ts, StartGeohash: `\.`, EndGeohash: ""},
+		{OrderID: 14, UserID: 15, BikeID: 16, BikeType: 1, StartTime: ts, StartGeohash: "mid space", EndGeohash: "trail "},
+	}
+	var got bytes.Buffer
+	if err := WriteCSV(&got, trips); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	ref := csv.NewWriter(&want)
+	if err := ref.Write(csvHeader); err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trips {
+		rec := []string{
+			fmt.Sprint(tr.OrderID), fmt.Sprint(tr.UserID), fmt.Sprint(tr.BikeID),
+			fmt.Sprint(tr.BikeType), tr.StartTime.Format(csvTimeLayout),
+			tr.StartGeohash, tr.EndGeohash,
+		}
+		if err := ref.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref.Flush()
+	if ref.Error() != nil {
+		t.Fatal(ref.Error())
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("writer output diverged:\ngot:  %q\nwant: %q", got.Bytes(), want.Bytes())
+	}
+	// And the quoted output must round-trip through both readers.
+	diffCodecs(t, got.String())
+}
+
+// TestCSVWriterAllocBudget is the satellite alloc-budget test: once the
+// internal buffer is warm, writing a batch of trips performs no
+// per-trip allocations (the old implementation allocated seven strings
+// per trip).
+func TestCSVWriterAllocBudget(t *testing.T) {
+	trips, err := Generate(Config{Days: 1, Seed: 3, TripsWeekday: 500, TripsWeekend: 300, Bikes: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw := NewCSVWriter(io.Discard)
+	if err := cw.WriteHeader(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.WriteTrips(trips); err != nil { // warm the buffer
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if err := cw.WriteTrips(trips); err != nil {
+			t.Fatal(err)
+		}
+		if err := cw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("WriteTrips allocated %.1f times for %d trips, want <= 1", allocs, len(trips))
+	}
+}
+
+// TestIngestCSVAllocBudget: the scanner's allocation count must be O(1)
+// in the row count — buffers, not per-row garbage. 2000 rows through
+// encoding/csv cost >4000 allocations; the budget here is 120 total.
+func TestIngestCSVAllocBudget(t *testing.T) {
+	trips, err := Generate(Config{Days: 1, Seed: 13, TripsWeekday: 2000, TripsWeekend: 1200, Bikes: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, trips); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte(sb.String())
+	opts := ScanOptions{Workers: 1, DecodeGeohashes: true}
+	rows := 0
+	allocs := testing.AllocsPerRun(3, func() {
+		rows = 0
+		if err := IngestCSV(bytes.NewReader(data), opts, func(batch []RawTrip) error {
+			rows += len(batch)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if rows != len(trips) {
+		t.Fatalf("scanned %d rows, want %d", rows, len(trips))
+	}
+	if allocs > 120 {
+		t.Fatalf("IngestCSV allocated %.0f times for %d rows — not O(1)", allocs, rows)
+	}
+}
+
+// TestGenerateStreamMatchesGenerate: the per-day streaming generator
+// must emit exactly Generate's trips, already globally sorted.
+func TestGenerateStreamMatchesGenerate(t *testing.T) {
+	cfg := Config{
+		Days: 4, Seed: 7, TripsWeekday: 250, TripsWeekend: 150, Bikes: 60,
+		Surges: []Surge{{Day: 1, HourStart: 18, HourEnd: 20, Center: geo.Pt(2500, 2500), Trips: 80}},
+	}
+	want, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Trip
+	days := 0
+	err = GenerateStream(cfg, func(day int, trips []Trip) error {
+		if day != days {
+			t.Fatalf("day %d emitted out of order (want %d)", day, days)
+		}
+		days++
+		got = append(got, trips...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if days != cfg.Days {
+		t.Fatalf("emitted %d days, want %d", days, cfg.Days)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d trips, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("trip %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// The concatenation must already be globally sorted: re-sorting
+	// with the generator's comparator must be a no-op.
+	sorted := append([]Trip(nil), got...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if !sorted[i].StartTime.Equal(sorted[j].StartTime) {
+			return sorted[i].StartTime.Before(sorted[j].StartTime)
+		}
+		return sorted[i].OrderID < sorted[j].OrderID
+	})
+	for i := range sorted {
+		if got[i] != sorted[i] {
+			t.Fatalf("streamed output not globally sorted at %d", i)
+		}
+	}
+}
+
+// TestGenerateStreamEmitError: an emit error aborts generation.
+func TestGenerateStreamEmitError(t *testing.T) {
+	sentinel := errors.New("stop")
+	calls := 0
+	err := GenerateStream(Config{Days: 3, Seed: 1, TripsWeekday: 50, TripsWeekend: 30, Bikes: 10},
+		func(int, []Trip) error {
+			calls++
+			return sentinel
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if calls != 1 {
+		t.Fatalf("emit called %d times after error, want 1", calls)
+	}
+}
+
+// TestIngestCSVEmitError: an emit error aborts the scan and surfaces
+// verbatim.
+func TestIngestCSVEmitError(t *testing.T) {
+	hdr := strings.Join(csvHeader, ",")
+	input := hdr + "\n" + strings.Repeat(goodRow, 50)
+	sentinel := errors.New("stop ingest")
+	err := IngestCSV(strings.NewReader(input), ScanOptions{ChunkSize: 64, Workers: 2},
+		func([]RawTrip) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+// TestIngestCSVReaderError: mid-stream I/O failures surface.
+func TestIngestCSVReaderError(t *testing.T) {
+	hdr := strings.Join(csvHeader, ",")
+	input := hdr + "\n" + strings.Repeat(goodRow, 50)
+	boom := errors.New("disk on fire")
+	r := io.MultiReader(strings.NewReader(input), errReader{boom})
+	err := IngestCSV(r, ScanOptions{ChunkSize: 128, Workers: 2}, func([]RawTrip) error { return nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped reader error", err)
+	}
+}
+
+type errReader struct{ err error }
+
+func (r errReader) Read([]byte) (int, error) { return 0, r.err }
+
+// TestScanRecordLargerThanChunk: a record longer than the chunk grows
+// the buffer transparently rather than failing or splitting.
+func TestScanRecordLargerThanChunk(t *testing.T) {
+	hdr := strings.Join(csvHeader, ",")
+	long := "1,2,3,1,2017-05-10 08:30:00,wx4g0bm," + strings.Repeat("w", 4096) + "\n"
+	input := hdr + "\n" + long + goodRow
+	want, err := ReadCSV(strings.NewReader(input), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSVStreaming(strings.NewReader(input), nil, ScanOptions{ChunkSize: 32, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d trips, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("trip %d diverged", i)
+		}
+	}
+}

@@ -75,6 +75,18 @@ func EncodeGeohash(ll LatLng, precision int) (string, error) {
 // DecodeGeohash decodes h into the centre of its cell along with the cell's
 // half-extents in degrees.
 func DecodeGeohash(h string) (center LatLng, latErr, lngErr float64, err error) {
+	return decodeGeohash(h)
+}
+
+// DecodeGeohashBytes is DecodeGeohash over a byte slice. The streaming CSV
+// scanner decodes geohash fields in place without materialising a string;
+// both entry points share one generic implementation so the float
+// bisection is bit-identical between them.
+func DecodeGeohashBytes(h []byte) (center LatLng, latErr, lngErr float64, err error) {
+	return decodeGeohash(h)
+}
+
+func decodeGeohash[T ~string | ~[]byte](h T) (center LatLng, latErr, lngErr float64, err error) {
 	if len(h) == 0 {
 		return LatLng{}, 0, 0, ErrInvalidGeohash
 	}
